@@ -1,0 +1,65 @@
+"""Baseline comparison: Squirrel's two strategies vs Flower-CDN.
+
+The paper's related work (section 2) describes two DHT web-caching
+strategies -- replicate-at-home and directory-of-downloaders -- and argues
+both are vulnerable to churn and locality-blind.  This bench measures all
+three systems side by side, including the home-store strategy's hidden
+cost: objects peers are forced to store without having requested them.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.report import render_table
+
+POPULATION = 180
+HOURS = 8.0
+
+
+def test_baseline_strategies(benchmark):
+    # Always reduced scale: three full systems per run (see ablations note).
+    config = ExperimentConfig.scaled(POPULATION, duration_hours=HOURS)
+
+    def run():
+        return {
+            "Flower-CDN": run_experiment("flower", config, seed=4),
+            "Squirrel (directory)": run_experiment("squirrel", config, seed=4),
+            "Squirrel (home-store)": run_experiment("squirrel-home", config, seed=4),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                f"{result.hit_ratio:.3f}",
+                f"{result.mean_lookup_latency_ms:.0f} ms",
+                f"{result.mean_transfer_ms:.0f} ms",
+                result.extra.get("forced_replicas", 0),
+            ]
+        )
+    emit_report(
+        "baseline_strategies",
+        render_table(
+            ["system", "hit ratio", "lookup", "transfer", "forced replicas"],
+            rows,
+            title=(
+                f"both Squirrel strategies vs Flower-CDN "
+                f"(P={config.population}, {config.duration_hours:.0f}h)"
+            ),
+        ),
+    )
+
+    flower = results["Flower-CDN"]
+    directory = results["Squirrel (directory)"]
+    homestore = results["Squirrel (home-store)"]
+    # Flower beats both baselines on the locality metrics.
+    for baseline in (directory, homestore):
+        assert flower.mean_transfer_ms < baseline.mean_transfer_ms
+        assert flower.mean_lookup_latency_ms < baseline.mean_lookup_latency_ms
+    # Home-store forces peers to host content they never asked for
+    # (the interest-awareness criticism, section 1).
+    assert homestore.extra.get("forced_replicas", 0) > 0
+    assert flower.extra.get("forced_replicas", 0) == 0

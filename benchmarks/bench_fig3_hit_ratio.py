@@ -1,0 +1,51 @@
+"""Figure 3: hit ratio over time, Flower-CDN vs Squirrel (P = 3000).
+
+Paper's finding: Squirrel's hit ratio rises faster at first (it searches
+the whole overlay), then stops improving as churn keeps destroying its
+home-node directories; Flower-CDN needs a warm-up but keeps climbing
+("the improvement reaches 40% after 24 simulation hours").
+"""
+
+from benchmarks.conftest import HEADLINE_POPULATION, bench_config, emit_report
+from repro.metrics.report import render_table
+
+
+def test_fig3_hit_ratio_over_time(benchmark, experiments):
+    config = bench_config(HEADLINE_POPULATION)
+
+    def run():
+        return (
+            experiments.get("flower", config),
+            experiments.get("squirrel", config),
+        )
+
+    flower, squirrel = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (hour, f_ratio), (__, s_ratio) in zip(
+        flower.hit_ratio_curve, squirrel.hit_ratio_curve
+    ):
+        rows.append([f"{hour:.0f}", f"{f_ratio:.3f}", f"{s_ratio:.3f}"])
+    rows.append(["final", f"{flower.hit_ratio:.3f}", f"{squirrel.hit_ratio:.3f}"])
+    emit_report(
+        "fig3_hit_ratio",
+        render_table(
+            ["hour", "Flower-CDN", "Squirrel"],
+            rows,
+            title=(
+                f"Figure 3 -- hit ratio over time "
+                f"(P={config.population}, {config.duration_hours:.0f}h)"
+            ),
+        ),
+    )
+
+    # Shape assertions from the paper's reading of the figure:
+    # (1) Squirrel leads early (Flower needs its petals populated);
+    early_flower = flower.hit_ratio_curve[0][1]
+    early_squirrel = squirrel.hit_ratio_curve[0][1]
+    assert early_squirrel > early_flower
+    # (2) Flower overtakes and ends ahead;
+    assert flower.hit_ratio > squirrel.hit_ratio
+    # (3) Flower's curve keeps improving through the run.
+    mid = flower.hit_ratio_curve[len(flower.hit_ratio_curve) // 2][1]
+    assert flower.hit_ratio_curve[-1][1] > mid

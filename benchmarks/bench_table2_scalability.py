@@ -1,0 +1,90 @@
+"""Table 2: scalability sweep over the population size.
+
+Paper's rows (P = 2000..5000):
+
+    P     approach    hit ratio  lookup    transfer
+    2000  Squirrel    0.35       1503 ms   163 ms
+          Flower-CDN  0.63        167 ms   120 ms
+    3000  Squirrel    0.41       1544 ms   166 ms
+          Flower-CDN  0.68        152 ms    92 ms
+    4000  Squirrel    0.45       1596 ms   169 ms
+          Flower-CDN  0.70        138 ms    88 ms
+    5000  Squirrel    0.52       1596 ms   165 ms
+          Flower-CDN  0.72        127 ms    81 ms
+
+Findings to reproduce in shape: Flower-CDN wins on every metric at every
+scale; larger populations *help* Flower (bigger petals -> higher hit ratio,
+shorter lookups) while Squirrel's lookup latency slowly grows with the
+ring size.
+"""
+
+from benchmarks.conftest import TABLE2_POPULATIONS, bench_config, emit_report
+from repro.metrics.report import render_table
+
+
+def test_table2_scalability(benchmark, experiments):
+    def run():
+        results = {}
+        for population in TABLE2_POPULATIONS:
+            config = bench_config(population)
+            results[population] = (
+                experiments.get("squirrel", config),
+                experiments.get("flower", config),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for population, (squirrel, flower) in results.items():
+        rows.append(
+            [
+                population,
+                "Squirrel",
+                f"{squirrel.hit_ratio:.2f}",
+                f"{squirrel.mean_lookup_latency_ms:.0f} ms",
+                f"{squirrel.mean_transfer_ms:.0f} ms",
+            ]
+        )
+        rows.append(
+            [
+                "",
+                "Flower-CDN",
+                f"{flower.hit_ratio:.2f}",
+                f"{flower.mean_lookup_latency_ms:.0f} ms",
+                f"{flower.mean_transfer_ms:.0f} ms",
+            ]
+        )
+    largest = TABLE2_POPULATIONS[-1]
+    squirrel_l, flower_l = results[largest]
+    factor_lookup = squirrel_l.mean_lookup_latency_ms / max(
+        flower_l.mean_lookup_latency_ms, 1e-9
+    )
+    factor_transfer = squirrel_l.mean_transfer_ms / max(
+        flower_l.mean_transfer_ms, 1e-9
+    )
+    emit_report(
+        "table2_scalability",
+        render_table(
+            ["P", "approach", "hit ratio", "lookup", "transfer"],
+            rows,
+            title="Table 2 -- scalability (Flower-CDN vs Squirrel)",
+        )
+        + (
+            f"\nimprovement factors at P={largest}: "
+            f"lookup {factor_lookup:.1f}x, transfer {factor_transfer:.1f}x "
+            f"(paper: up to 12.6x and 2x)"
+        ),
+    )
+
+    smallest = TABLE2_POPULATIONS[0]
+    squirrel_s, flower_s = results[smallest]
+    # Who wins: Flower on every metric at every population.
+    for population, (squirrel, flower) in results.items():
+        assert flower.hit_ratio > squirrel.hit_ratio, population
+        assert flower.mean_lookup_latency_ms < squirrel.mean_lookup_latency_ms
+        assert flower.mean_transfer_ms < squirrel.mean_transfer_ms
+    # Scale trend: larger populations help Flower's hit ratio.
+    assert flower_l.hit_ratio >= flower_s.hit_ratio - 0.02
+    # Crossover factors: the lookup gap is the dominant one.
+    assert factor_lookup > factor_transfer

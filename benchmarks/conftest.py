@@ -1,0 +1,71 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every figure and table of the paper's evaluation (section 6) has one bench
+module that regenerates its rows/series.  Scale policy (DESIGN.md §5):
+
+- default: a reduced-scale configuration (same code paths, seconds of wall
+  clock), so ``pytest benchmarks/ --benchmark-only`` is routinely runnable;
+- ``REPRO_SCALE=full``: the paper's Table 1 configuration (P up to 5000,
+  24 simulated hours -- expect tens of minutes).
+
+Experiment runs are cached per (protocol, config, seed) for the whole
+benchmark session: Figures 3, 4 and 5 all read the same P=3000-equivalent
+pair of runs, so only the first bench pays for it (and is the one whose
+timing is meaningful).  Every bench also writes its table to
+``results/<bench>.txt`` so the regenerated rows survive the run.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+FULL_SCALE = os.environ.get("REPRO_SCALE", "").lower() == "full"
+
+#: Populations for the Table 2 sweep (paper: 2000/3000/4000/5000).
+TABLE2_POPULATIONS = (
+    (2000, 3000, 4000, 5000) if FULL_SCALE else (120, 180, 240, 300)
+)
+
+#: The population Figures 3-5 are reported at (paper: 3000).
+HEADLINE_POPULATION = 3000 if FULL_SCALE else 240
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_config(population: int, **overrides) -> ExperimentConfig:
+    """The benchmark configuration at the active scale."""
+    if FULL_SCALE:
+        return ExperimentConfig.paper(population=population, **overrides)
+    defaults = dict(duration_hours=12.0)
+    defaults.update(overrides)
+    return ExperimentConfig.scaled(population=population, **defaults)
+
+
+class ExperimentCache:
+    """Session-wide memo of experiment runs keyed by (protocol, config, seed)."""
+
+    def __init__(self):
+        self._runs = {}
+
+    def get(self, protocol: str, config: ExperimentConfig, seed: int = 1):
+        key = (protocol, config, seed)
+        if key not in self._runs:
+            self._runs[key] = run_experiment(protocol, config, seed=seed)
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def experiments():
+    return ExperimentCache()
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a bench report and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: run a small Flower-CDN experiment and read the results.
+
+The public API is three calls::
+
+    config = ExperimentConfig.scaled(...)     # or .paper() for Table 1 scale
+    result = run_experiment("flower", config, seed=7)
+    print(result.summary_line())
+
+Everything below is inspection of the returned ExperimentResult.
+Runtime: a few seconds.
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.metrics.report import render_table
+
+
+def main() -> None:
+    # A reduced-scale world: same protocols and parameters as the paper's
+    # Table 1, just fewer peers/websites so it runs in seconds.
+    config = ExperimentConfig.scaled(population=150, duration_hours=6.0)
+    print(
+        f"Flower-CDN: P={config.population}, {config.num_websites} websites "
+        f"({config.num_active_websites} active), k={config.num_localities} "
+        f"localities, {config.duration_hours:.0f} simulated hours"
+    )
+
+    result = run_experiment("flower", config, seed=7)
+
+    print()
+    print("headline metrics (paper section 6):")
+    print(f"  hit ratio        {result.hit_ratio:.3f}")
+    print(f"  lookup latency   {result.mean_lookup_latency_ms:.0f} ms (mean)")
+    print(f"  transfer distance {result.mean_transfer_ms:.0f} ms (mean)")
+
+    print()
+    print(
+        render_table(
+            ["outcome", "queries", "share"],
+            [
+                [outcome, count, f"{count / result.queries:.1%}"]
+                for outcome, count in sorted(result.outcome_counts.items())
+            ],
+            title=f"how {result.queries} queries were served",
+        )
+    )
+
+    print()
+    print("hit ratio over time (Figure 3 style, cumulative):")
+    for hour, ratio in result.hit_ratio_curve:
+        bar = "#" * int(ratio * 40)
+        print(f"  h{hour:>4.0f}  {ratio:5.3f}  {bar}")
+
+    print()
+    print(
+        f"simulated {result.events_executed:,} events, "
+        f"{result.messages_sent:,} messages, "
+        f"{result.arrivals} arrivals / {result.departures} failures "
+        f"(exponential uptimes, mean {config.mean_uptime_min:.0f} min)"
+    )
+
+
+if __name__ == "__main__":
+    main()

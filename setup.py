@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so the package can be
+installed in environments whose setuptools lacks PEP 660 editable-install
+support (e.g. offline machines without the ``wheel`` package), via
+``python setup.py develop`` or ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro: a reproduction of Flower-CDN / PetalUp-CDN (El Dick, VLDB 2009).
+
+A locality- and interest-aware peer-to-peer content distribution network,
+implemented from scratch together with every substrate the paper's
+evaluation depends on: a deterministic discrete-event engine (the PeerSim
+stand-in), a synthetic latency topology with landmark localities, a full
+Chord DHT, a Cyclon-style gossip layer, the Squirrel baseline, a Zipf
+workload and an exponential-uptime churn model.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(population=300, duration_hours=6.0)
+    result = run_experiment("flower", config, seed=7)
+    print(result.hit_ratio, result.mean_lookup_latency_ms)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+from repro.errors import (
+    CDNError,
+    ConfigError,
+    DHTError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    TransportError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "TopologyError",
+    "TransportError",
+    "DHTError",
+    "CDNError",
+    "ConfigError",
+    "WorkloadError",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "__version__",
+]
+
+# The experiment-level API is re-exported lazily (PEP 562) so that importing
+# a low-level subpackage (repro.sim, repro.net, ...) does not pull in the
+# whole experiment stack.
+_LAZY_EXPORTS = {
+    "ExperimentConfig": ("repro.experiments.config", "ExperimentConfig"),
+    "ExperimentResult": ("repro.experiments.results", "ExperimentResult"),
+    "run_experiment": ("repro.experiments.runner", "run_experiment"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,94 @@
+"""Result exporters: CSV and Markdown.
+
+The JSON emitted by :class:`~repro.experiments.results.ExperimentResult`
+is the machine format; these helpers produce the two formats humans paste
+elsewhere -- CSV for spreadsheets/plotting tools and Markdown tables for
+reports (EXPERIMENTS.md uses the same conventions).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.results import ExperimentResult
+
+#: The scalar columns exported per run, in order.
+RESULT_COLUMNS = (
+    "protocol",
+    "population",
+    "seed",
+    "duration_hours",
+    "queries",
+    "hit_ratio",
+    "mean_lookup_latency_ms",
+    "mean_transfer_ms",
+    "arrivals",
+    "departures",
+    "messages_sent",
+    "events_executed",
+)
+
+
+def results_to_csv(results: Iterable[ExperimentResult]) -> str:
+    """One CSV row per run, columns per :data:`RESULT_COLUMNS`."""
+    results = list(results)
+    if not results:
+        raise ReproError("nothing to export")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(RESULT_COLUMNS)
+    for result in results:
+        writer.writerow([getattr(result, column) for column in RESULT_COLUMNS])
+    return buffer.getvalue()
+
+
+def curve_to_csv(result: ExperimentResult) -> str:
+    """The Figure-3-style hit-ratio curve of one run as CSV."""
+    if not result.hit_ratio_curve:
+        raise ReproError("run has no hit-ratio curve")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["hour", "cumulative_hit_ratio"])
+    for hour, ratio in result.hit_ratio_curve:
+        writer.writerow([hour, ratio])
+    return buffer.getvalue()
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A GitHub-flavoured Markdown table."""
+    if not headers:
+        raise ReproError("markdown table needs headers")
+    lines: List[str] = []
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join("---" for __ in headers) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def results_to_markdown(results: Iterable[ExperimentResult]) -> str:
+    """A Markdown comparison table over several runs."""
+    results = list(results)
+    if not results:
+        raise ReproError("nothing to export")
+    rows = [
+        [
+            result.protocol,
+            result.population,
+            f"{result.hit_ratio:.3f}",
+            f"{result.mean_lookup_latency_ms:.0f} ms",
+            f"{result.mean_transfer_ms:.0f} ms",
+            result.queries,
+        ]
+        for result in results
+    ]
+    return markdown_table(
+        ["protocol", "P", "hit ratio", "lookup", "transfer", "queries"], rows
+    )

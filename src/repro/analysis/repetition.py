@@ -1,0 +1,111 @@
+"""Multi-seed repetition and aggregation.
+
+One simulation run is one sample; claims about protocols deserve error
+bars.  :func:`repeat_experiment` runs the same configuration under several
+seeds and :func:`aggregate` summarises any scalar metric with mean, sample
+standard deviation and a t-based 95% confidence interval (computed
+directly -- no SciPy dependency -- with the usual two-sided t quantiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import run_experiment
+
+#: Two-sided 95% t quantiles by degrees of freedom (1..30), then normal.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t_quantile_95(dof: int) -> float:
+    """Two-sided 95% Student-t quantile for *dof* degrees of freedom."""
+    if dof < 1:
+        raise ReproError("need at least two samples for a confidence interval")
+    return _T_95.get(dof, 1.960)
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean / spread / CI of one scalar metric over repeated runs.
+
+    Attributes:
+        metric: name of the aggregated quantity.
+        samples: the per-seed values.
+        mean / std: sample mean and (n-1) standard deviation.
+        ci95: half-width of the 95% confidence interval of the mean.
+    """
+
+    metric: str
+    samples: tuple
+    mean: float
+    std: float
+    ci95: float
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:
+        return f"{self.metric}: {self.mean:.4g} +/- {self.ci95:.2g} (n={self.n})"
+
+
+def aggregate(metric: str, samples: Sequence[float]) -> AggregateResult:
+    """Summarise *samples* of one metric."""
+    values = list(samples)
+    if not values:
+        raise ReproError("cannot aggregate zero samples")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return AggregateResult(metric, tuple(values), mean, 0.0, 0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    ci95 = t_quantile_95(n - 1) * std / math.sqrt(n)
+    return AggregateResult(metric, tuple(values), mean, std, ci95)
+
+
+def repeat_experiment(
+    protocol: str,
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+) -> List[ExperimentResult]:
+    """Run the same experiment under several seeds."""
+    if not seeds:
+        raise ReproError("need at least one seed")
+    return [run_experiment(protocol, config, seed=seed) for seed in seeds]
+
+
+def aggregate_metric(
+    results: Sequence[ExperimentResult],
+    metric: str = "hit_ratio",
+    extract: Callable[[ExperimentResult], float] = None,
+) -> AggregateResult:
+    """Aggregate one scalar across runs.
+
+    Args:
+        results: repeated runs.
+        metric: attribute name (used when *extract* is None) and label.
+        extract: custom accessor, e.g. ``lambda r: r.outcome_counts["miss_failed"]``.
+    """
+    if extract is None:
+        extract = lambda result: getattr(result, metric)
+    return aggregate(metric, [extract(result) for result in results])

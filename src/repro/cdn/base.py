@@ -1,0 +1,354 @@
+"""Protocol-independent CDN machinery.
+
+Three things live here:
+
+- :class:`ProtocolParams` -- every protocol knob of Table 1 plus the
+  implementation knobs (timeouts, retry delays, PetalUp limits), decoupled
+  from the experiment-level configuration so the CDN layer does not depend
+  on :mod:`repro.experiments`;
+- :class:`BasePeer` -- the life of one participant: arrival / crash /
+  re-join, the periodic query process, and the query *accounting* shared by
+  every protocol (when a query completes, compute lookup latency and
+  transfer distance the same way for Flower and Squirrel, so the comparison
+  is apples-to-apples);
+- :class:`CdnSystem` -- the per-protocol orchestrator the experiment runner
+  drives through ``on_arrival`` / ``on_departure`` callbacks from the churn
+  model.
+
+Measurement conventions (metrics of section 6):
+
+- **lookup latency** = time from issuing the query until the fetch request
+  *reaches* the node that will provide the object (provider or origin
+  server), i.e. completion time minus the final one-way reply latency;
+- **transfer distance** = one-way latency between the querier and that
+  provider.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cdn.server import OriginServer
+from repro.cdn.storage import ContentStore
+from repro.dht.ring import RingParams
+from repro.errors import CDNError
+from repro.metrics.collector import MetricsCollector, QueryRecord
+from repro.net.landmarks import LandmarkBinner
+from repro.net.transport import Network, NetworkNode
+from repro.sim.clock import minutes, seconds
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.types import Address, ObjectKey, WebsiteId
+from repro.workload.catalog import Catalog
+from repro.workload.queries import QueryStream
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """CDN protocol knobs (Table 1 plus implementation parameters).
+
+    Attributes:
+        query_interval_ms: gap between a peer's queries (paper: 6 min).
+        gossip_period_ms: petal gossip period (paper: 1 h).
+        keepalive_period_ms: content-peer -> directory keepalive period
+            (paper couples it to the gossip period: 1 h).
+        push_threshold: fraction of content changes that triggers a push
+            (paper: 0.5).
+        zipf_exponent: object-popularity skew (Breslau et al.: ~0.8).
+        summary_kind: ``"exact"`` or ``"bloom"`` content summaries.
+        gossip_shuffle_size: contacts exchanged per gossip round.
+        directory_load_limit: members per directory instance before PetalUp
+            splits; ``None`` = unbounded (plain Flower-CDN).
+        max_instances: maximum directory instances per petal (PetalUp's
+            2**m; 1 = plain Flower-CDN).
+        directory_collaboration: whether directory peers of the same website
+            answer each other's misses (section 3.2 "may collaborate").
+        member_expiry_rounds: keepalive rounds after which a silent content
+            peer is expired from the directory index.
+        scan_retry_delay_ms: client backoff before re-scanning D-ring when
+            every directory instance was busy.
+        cache_capacity: per-peer cache size in objects; ``None`` is the
+            paper's unbounded assumption, a number enables LRU replacement
+            (the cache-policy extension the paper scopes out).
+        dring: Chord parameters of the D-ring (or Squirrel's global ring).
+        squirrel_directory_capacity: per-object home-directory size
+            (pointers to recent downloaders).
+    """
+
+    query_interval_ms: float = minutes(6)
+    gossip_period_ms: float = minutes(60)
+    keepalive_period_ms: float = minutes(60)
+    push_threshold: float = 0.5
+    zipf_exponent: float = 0.8
+    summary_kind: str = "exact"
+    gossip_shuffle_size: int = 5
+    directory_load_limit: Optional[int] = None
+    max_instances: int = 1
+    directory_collaboration: bool = False
+    member_expiry_rounds: int = 2
+    scan_retry_delay_ms: float = seconds(30)
+    cache_capacity: Optional[int] = None
+    dring: RingParams = field(default_factory=RingParams)
+    squirrel_directory_capacity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.query_interval_ms <= 0 or self.gossip_period_ms <= 0:
+            raise CDNError("periods must be positive")
+        if not 0.0 < self.push_threshold:
+            raise CDNError("push threshold must be positive")
+        if self.max_instances < 1:
+            raise CDNError("max_instances must be >= 1")
+        if self.directory_load_limit is not None and self.directory_load_limit < 1:
+            raise CDNError("directory_load_limit must be >= 1 or None")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise CDNError("cache_capacity must be >= 1 or None")
+
+
+class BasePeer(NetworkNode):
+    """One participant: identity, interest, cache, query process.
+
+    Subclasses implement :meth:`resolve_query` (protocol-specific) and the
+    session hooks :meth:`_on_session_begin` / :meth:`_on_crash`.
+    """
+
+    def __init__(
+        self,
+        system: "CdnSystem",
+        identity: int,
+        website: WebsiteId,
+        cluster_hint: Optional[int] = None,
+    ) -> None:
+        super().__init__(system.network, cluster_hint)
+        self.system = system
+        self.identity = identity
+        self.website = website
+        self.locality = system.binner.locality_of(self.address)
+        self.store = ContentStore(capacity=system.params.cache_capacity)
+        self.stream: Optional[QueryStream] = None
+        self.queries_issued = 0
+        self.sessions = 0
+        self._query_process: Optional[PeriodicProcess] = None
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def rng(self) -> random.Random:
+        """This peer's private random stream."""
+        return self.sim.rng(f"peer-{self.identity}")
+
+    def begin_session(self) -> None:
+        """Come online: start querying if the peer's website is active."""
+        self.revive()
+        self.sessions += 1
+        if self.system.catalog.is_active(self.website):
+            self._start_query_process()
+        self._on_session_begin()
+
+    def crash(self) -> None:
+        """Fail abruptly (the paper's only departure mode)."""
+        self._stop_query_process()
+        self._on_crash()
+        self.fail()
+
+    def _on_session_begin(self) -> None:
+        """Protocol hook: join overlays, register with the petal, ..."""
+
+    def _on_crash(self) -> None:
+        """Protocol hook: cancel protocol processes, shut down Chord, ..."""
+
+    # ----------------------------------------------------------------- query
+    def _start_query_process(self) -> None:
+        if self.stream is None:
+            self.stream = QueryStream(
+                self.website,
+                self.system.zipf,
+                self.rng,
+                already_held=self.store.held_indexes(self.website),
+            )
+        else:
+            # Re-joining session: never re-query what the cache already has.
+            self.stream.mark_held(self.store.held_indexes(self.website))
+        if self.stream.exhausted:
+            return
+        interval = self.system.params.query_interval_ms
+        self._query_process = PeriodicProcess(
+            self.sim,
+            interval,
+            self._issue_query,
+            initial_delay=self.rng.uniform(0.0, interval),
+            jitter=0.1,
+            rng=self.rng,
+        )
+
+    def _stop_query_process(self) -> None:
+        if self._query_process is not None:
+            self._query_process.cancel()
+            self._query_process = None
+
+    def _issue_query(self) -> None:
+        if not self.alive:
+            return
+        key = self.stream.next_object() if self.stream else None
+        if key is None:
+            self._stop_query_process()
+            return
+        self.queries_issued += 1
+        self.sim.emit("cdn.query", peer=self.address, key=key)
+        self.resolve_query(key, started_at=self.sim.now)
+
+    def resolve_query(self, key: ObjectKey, started_at: float) -> None:
+        """Protocol-specific resolution; must end in :meth:`_finish_query`."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ accounting
+    def _finish_query(
+        self,
+        key: ObjectKey,
+        outcome: str,
+        provider: Address,
+        started_at: float,
+        hops: int = 0,
+    ) -> None:
+        """Record the query's metrics and store the delivered object.
+
+        Called from the reply handler of the successful fetch, so ``now``
+        is completion time; the provider's reply travelled one link, hence
+        ``lookup latency = now - started - one_way(querier, provider)``.
+        """
+        transfer = self.network.latency(self.address, provider)
+        lookup_latency = max(0.0, self.sim.now - started_at - transfer)
+        if outcome == "hit_local":
+            self.store.touch(key)
+        __, evicted = self.store.add_with_evictions(key)
+        if evicted:
+            if self.stream is not None:
+                # Evicted objects may legitimately be queried again.
+                self.stream.forget(
+                    {index for ws, index in evicted if ws == self.website}
+                )
+            self._on_evicted(evicted)
+        self.system.metrics.record(
+            QueryRecord(
+                time=self.sim.now,
+                website=key[0],
+                object_key=key,
+                locality=self.locality,
+                outcome=outcome,
+                lookup_latency_ms=lookup_latency,
+                transfer_ms=transfer,
+                hops=hops,
+            )
+        )
+        self.sim.emit("cdn.query_done", outcome=outcome, peer=self.address)
+        self._after_query(key, outcome)
+
+    def _after_query(self, key: ObjectKey, outcome: str) -> None:
+        """Protocol hook: push-threshold checks, summary updates, ..."""
+
+    def _on_evicted(self, keys) -> None:
+        """Protocol hook: cache replacement dropped *keys* (bounded-cache
+        extension); summaries and indexes must stop advertising them."""
+
+    def _fetch_from_server(
+        self,
+        key: ObjectKey,
+        outcome: str,
+        started_at: float,
+        hops: int = 0,
+    ) -> None:
+        """Fall back to the origin web server (a P2P miss)."""
+        server = self.system.servers[key[0]]
+        self.rpc(
+            server.address,
+            "server.fetch",
+            {"key": key},
+            on_reply=lambda payload: self._finish_query(
+                key, outcome, server.address, started_at, hops
+            ),
+            on_timeout=lambda: None,  # servers never fail in this model
+        )
+
+
+class CdnSystem:
+    """Base orchestrator: identity -> peer bookkeeping and churn hooks.
+
+    Subclasses provide :meth:`_make_peer` and
+    :meth:`setup_initial_population`.
+    """
+
+    #: Protocol name used in reports ("flower", "petalup", "squirrel").
+    name = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        binner: LandmarkBinner,
+        catalog: Catalog,
+        params: ProtocolParams,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.binner = binner
+        self.catalog = catalog
+        self.params = params
+        self.metrics = metrics or MetricsCollector()
+        self.zipf = ZipfSampler(catalog.objects_per_website, params.zipf_exponent)
+        self.servers: Dict[WebsiteId, OriginServer] = {
+            website: OriginServer(network, website) for website in catalog.websites()
+        }
+        self.peers: Dict[int, BasePeer] = {}
+        self._websites: Dict[int, WebsiteId] = {}
+
+    # -------------------------------------------------------------- identity
+    def website_of(self, identity: int) -> WebsiteId:
+        """The website an identity is interested in, fixed for the whole
+        experiment ("each peer is randomly assigned a website from |W| to
+        which it has interest throughout the experiment")."""
+        website = self._websites.get(identity)
+        if website is None:
+            website = self.sim.rng("interest").randrange(self.catalog.num_websites)
+            self._websites[identity] = website
+        return website
+
+    def assign_website(self, identity: int, website: WebsiteId) -> None:
+        """Pin an identity's interest (used when seeding directory peers)."""
+        self.catalog.validate_website(website)
+        existing = self._websites.get(identity)
+        if existing is not None and existing != website:
+            raise CDNError(
+                f"identity {identity} already interested in website {existing}"
+            )
+        self._websites[identity] = website
+
+    def peer_for(self, identity: int) -> BasePeer:
+        """The peer object of *identity*, created on first contact."""
+        peer = self.peers.get(identity)
+        if peer is None:
+            peer = self._make_peer(identity)
+            self.peers[identity] = peer
+        return peer
+
+    def _make_peer(self, identity: int) -> BasePeer:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------- churn hooks
+    def on_arrival(self, identity: int) -> None:
+        self.peer_for(identity).begin_session()
+
+    def on_departure(self, identity: int) -> None:
+        peer = self.peers.get(identity)
+        if peer is not None and peer.alive:
+            peer.crash()
+
+    def setup_initial_population(self) -> None:
+        """Create the population present at t=0 (protocol-specific)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def online_peers(self) -> int:
+        return sum(1 for peer in self.peers.values() if peer.alive)

@@ -1,0 +1,38 @@
+"""Flower-CDN: a locality- and interest-aware hybrid P2P CDN (paper §3-5).
+
+Architecture (Figure 1): gossip-based *petals* -- one per (website,
+locality) couple -- linked by *D-ring*, a Chord overlay whose members are
+the petals' directory peers, placed at identifiers assigned by the novel
+key-management service of :mod:`repro.cdn.flower.dring`.
+
+Module map:
+
+- :mod:`repro.cdn.flower.dring` -- (website, locality, instance) -> D-ring
+  identifier assignment;
+- :mod:`repro.cdn.flower.directory` -- the directory role: directory-index,
+  member view, load accounting, PetalUp instance bookkeeping;
+- :mod:`repro.cdn.flower.peer` -- :class:`FlowerPeer`: content-peer
+  behaviour (gossip, summaries, push, keepalive, dir-info), the query
+  protocols for new clients and content peers, and the failure-recovery
+  protocols of section 5;
+- :mod:`repro.cdn.flower.system` -- :class:`FlowerSystem`: initial
+  population, churn hooks, D-ring bootstrap.
+
+PetalUp-CDN (section 4) is this same code with a finite
+``directory_load_limit`` and ``max_instances > 1``; see
+:mod:`repro.cdn.petalup`.
+"""
+
+from repro.cdn.flower.dring import DRingKeyService
+from repro.cdn.flower.peer import DirInfo, FlowerPeer
+from repro.cdn.flower.search import KeywordSearchEngine, KeywordSpace
+from repro.cdn.flower.system import FlowerSystem
+
+__all__ = [
+    "DRingKeyService",
+    "FlowerPeer",
+    "DirInfo",
+    "FlowerSystem",
+    "KeywordSpace",
+    "KeywordSearchEngine",
+]

@@ -1,0 +1,174 @@
+"""The directory role of a Flower-CDN peer.
+
+A directory peer d(ws, loc) "knows about all content peers c(ws, loc) and
+indexes their stored content in a directory-index" (section 3.2).  This
+module owns that state:
+
+- the **member view**: which content peers this instance manages, with ages
+  refreshed by keepalive / push / query traffic and expired by the periodic
+  sweep of section 5.1 ("discover and remove expired pointers");
+- the **directory-index**: object key -> set of member addresses believed
+  to hold a copy, rebuilt incrementally from push messages;
+- **load accounting** for PetalUp-CDN: "the load at a directory peer is
+  evaluated in terms of the number of content peers in its view and is
+  compared against a predefined limit" (section 4).
+
+The network behaviour (answering queries, reacting to pushes) lives on
+:class:`~repro.cdn.flower.peer.FlowerPeer`, which holds one of these roles
+while it serves as a directory.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.dht.node import ChordNode
+from repro.gossip.view import Contact, PartialView
+from repro.types import Address, ChordId, LocalityId, ObjectKey, WebsiteId
+
+
+class DirectoryRole:
+    """Directory-index + member view of one directory instance.
+
+    Args:
+        owner_address: the hosting peer's network address.
+        website / locality / instance: the petal slot this instance serves.
+        position_id: the D-ring identifier of this slot.
+    """
+
+    def __init__(
+        self,
+        owner_address: Address,
+        website: WebsiteId,
+        locality: LocalityId,
+        instance: int,
+        position_id: ChordId,
+    ) -> None:
+        self.owner_address = owner_address
+        self.website = website
+        self.locality = locality
+        self.instance = instance
+        self.position_id = position_id
+        self.chord: Optional[ChordNode] = None  # attached by the peer
+        self.members = PartialView(owner=owner_address)
+        self.member_keys: Dict[Address, Set[ObjectKey]] = {}
+        self.index: Dict[ObjectKey, Set[Address]] = {}
+        self.queries_handled = 0
+        self.promoting = False  # a PetalUp split is in flight
+
+    # ------------------------------------------------------------------ load
+    @property
+    def load(self) -> int:
+        """Number of content peers in the member view (PetalUp's metric)."""
+        return len(self.members)
+
+    def overloaded(self, limit: Optional[int]) -> bool:
+        return limit is not None and self.load >= limit
+
+    # -------------------------------------------------------------- members
+    def add_member(self, address: Address, keys: Iterable[ObjectKey] = ()) -> None:
+        """Register a content peer (fresh age) and index its keys."""
+        if address == self.owner_address:
+            return
+        self.members.add(Contact(address, age=0))
+        self.members.refresh(address)
+        self.update_member_keys(address, keys)
+
+    def has_member(self, address: Address) -> bool:
+        return address in self.members
+
+    def touch_member(self, address: Address) -> None:
+        """Reset a member's age (keepalive / push / query contact)."""
+        self.members.refresh(address)
+
+    def remove_member(self, address: Address) -> None:
+        """Evict a member and every index pointer to it."""
+        self.members.remove(address)
+        old = self.member_keys.pop(address, None)
+        if old:
+            for key in old:
+                holders = self.index.get(key)
+                if holders is not None:
+                    holders.discard(address)
+                    if not holders:
+                        del self.index[key]
+
+    def update_member_keys(self, address: Address, keys: Iterable[ObjectKey]) -> None:
+        """Apply a push: replace the member's key set in the index."""
+        new = {tuple(key) for key in keys}
+        old = self.member_keys.get(address, set())
+        for key in old - new:
+            holders = self.index.get(key)
+            if holders is not None:
+                holders.discard(address)
+                if not holders:
+                    del self.index[key]
+        for key in new - old:
+            self.index.setdefault(key, set()).add(address)
+        if new:
+            self.member_keys[address] = new
+        elif address in self.member_keys:
+            del self.member_keys[address]
+
+    def expire_members(self, max_age: int) -> List[Address]:
+        """Sweep: evict members whose age exceeds *max_age*; return them.
+
+        Ages advance by one per sweep; contact of any kind resets them.
+        """
+        self.members.increase_ages()
+        expired = [c.address for c in self.members.contacts() if c.age > max_age]
+        for address in expired:
+            self.remove_member(address)
+        return expired
+
+    # ----------------------------------------------------------------- index
+    def providers_of(self, key: ObjectKey) -> Set[Address]:
+        return self.index.get(key, set())
+
+    def pick_provider(
+        self,
+        key: ObjectKey,
+        rng: random.Random,
+        exclude: Optional[Set[Address]] = None,
+    ) -> Optional[Address]:
+        """A uniformly random indexed holder of *key* (load balancing)."""
+        candidates = [
+            address
+            for address in self.index.get(key, ())
+            if exclude is None or address not in exclude
+        ]
+        if not candidates:
+            return None
+        return rng.choice(candidates)
+
+    def member_sample(self, rng: random.Random, count: int) -> List[Address]:
+        """Random member addresses handed to joining clients as their
+        initial petal view."""
+        return [c.address for c in self.members.sample(rng, count)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable copy of the index + view (voluntary-leave handoff,
+        section 5.2.2)."""
+        return {
+            "members": [(c.address, c.age) for c in self.members.contacts()],
+            "member_keys": {
+                address: sorted(keys) for address, keys in self.member_keys.items()
+            },
+        }
+
+    def adopt_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Install a predecessor's index + view (received at handoff)."""
+        for address, age in snapshot.get("members", []):
+            if address != self.owner_address:
+                self.members.add(Contact(address, age))
+        for address, keys in snapshot.get("member_keys", {}).items():
+            if address != self.owner_address:
+                self.update_member_keys(address, [tuple(k) for k in keys])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirectoryRole(ws={self.website}, loc={self.locality}, "
+            f"i={self.instance}, members={self.load}, "
+            f"index={len(self.index)} keys)"
+        )

@@ -1,0 +1,113 @@
+"""D-ring key management: (website, locality, instance) -> Chord identifier.
+
+The paper's "novel key management service" (section 3.2) assigns each
+directory peer a *deterministic* identifier derived from the website and
+locality it serves, such that:
+
+- directory peers of the same website occupy **successive identifiers** and
+  are therefore neighbours on D-ring;
+- PetalUp-CDN can interpose up to ``2**m`` instances per (website,
+  locality), again at successive identifiers (section 4), so "scanning the
+  existing directory peers" is a walk along ring successors.
+
+Layout (most-significant to least-significant bits)::
+
+    | website prefix           | locality        | instance      |
+    | bits - loc_bits - i_bits | ceil(log2(k))   | ceil(log2(2^m)) |
+
+The website prefix is a hash of the website identifier (a real deployment
+hashes the website's URL); prefix collisions between websites are resolved
+deterministically at construction by linear probing, so the mapping is
+injective and stable for a given identifier space and website count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.dht.idspace import IdSpace
+from repro.errors import CDNError
+from repro.types import ChordId, LocalityId, WebsiteId
+
+
+class DRingKeyService:
+    """Injective mapping between directory positions and ring identifiers."""
+
+    def __init__(
+        self,
+        space: IdSpace,
+        num_websites: int,
+        num_localities: int,
+        max_instances: int = 1,
+    ) -> None:
+        if num_websites < 1 or num_localities < 1 or max_instances < 1:
+            raise CDNError("websites, localities and instances must be >= 1")
+        self.space = space
+        self.num_websites = num_websites
+        self.num_localities = num_localities
+        self.max_instances = max_instances
+        self.instance_bits = max(1, math.ceil(math.log2(max_instances))) if max_instances > 1 else 0
+        self.locality_bits = max(1, math.ceil(math.log2(num_localities))) if num_localities > 1 else 0
+        self.arc_bits = self.instance_bits + self.locality_bits
+        prefix_bits = space.bits - self.arc_bits
+        if prefix_bits < math.ceil(math.log2(max(2, num_websites))) + 2:
+            raise CDNError(
+                f"identifier space too small: {space.bits} bits cannot hold "
+                f"{num_websites} websites x {num_localities} localities x "
+                f"{max_instances} instances"
+            )
+        self._prefix_count = 1 << prefix_bits
+        self._website_prefix: Dict[WebsiteId, int] = {}
+        self._prefix_website: Dict[int, WebsiteId] = {}
+        for website in range(num_websites):
+            prefix = space.hash_value(f"website:{website}") >> self.arc_bits
+            while prefix in self._prefix_website:  # deterministic probing
+                prefix = (prefix + 1) % self._prefix_count
+            self._website_prefix[website] = prefix
+            self._prefix_website[prefix] = website
+
+    # ---------------------------------------------------------------- encode
+    def position_id(
+        self,
+        website: WebsiteId,
+        locality: LocalityId,
+        instance: int = 0,
+    ) -> ChordId:
+        """The D-ring identifier of directory peer d_instance(ws, loc)."""
+        if website not in self._website_prefix:
+            raise CDNError(f"unknown website {website}")
+        if not 0 <= locality < self.num_localities:
+            raise CDNError(f"locality {locality} outside [0, {self.num_localities})")
+        if not 0 <= instance < self.max_instances:
+            raise CDNError(f"instance {instance} outside [0, {self.max_instances})")
+        prefix = self._website_prefix[website]
+        return (
+            (prefix << self.arc_bits)
+            | (locality << self.instance_bits)
+            | instance
+        )
+
+    # ---------------------------------------------------------------- decode
+    def decode(self, position: ChordId) -> Optional[Tuple[WebsiteId, LocalityId, int]]:
+        """Inverse mapping, or None if *position* is not a directory id."""
+        prefix = position >> self.arc_bits
+        website = self._prefix_website.get(prefix)
+        if website is None:
+            return None
+        remainder = position & ((1 << self.arc_bits) - 1)
+        instance = remainder & ((1 << self.instance_bits) - 1)
+        locality = remainder >> self.instance_bits
+        if locality >= self.num_localities or instance >= self.max_instances:
+            return None
+        return (website, locality, instance)
+
+    def same_website(self, a: ChordId, b: ChordId) -> bool:
+        """Do two directory identifiers serve the same website?"""
+        return (a >> self.arc_bits) == (b >> self.arc_bits)
+
+    def all_positions(self, instance: int = 0):
+        """Every (website, locality) position at a given instance index."""
+        for website in range(self.num_websites):
+            for locality in range(self.num_localities):
+                yield website, locality, self.position_id(website, locality, instance)

@@ -1,0 +1,1100 @@
+"""One Flower-CDN participant: content-peer behaviour, the directory role,
+query protocols, and the maintenance protocols of section 5.
+
+A :class:`FlowerPeer` always carries the *content role* once it has joined a
+petal -- a partial view of its petal, content summaries learnt by gossip,
+and ``dir-info`` about the directory peer through which it joined -- and may
+additionally carry the *directory role*
+(:class:`~repro.cdn.flower.directory.DirectoryRole`) while serving a
+(website, locality, instance) slot on D-ring.
+
+Query paths (sections 3.2 and 4):
+
+- a **new client** routes its query over D-ring to d(ws, loc) [instance 0],
+  scanning successive instances while they report overload (PetalUp); the
+  processing directory registers the client, answers from its
+  directory-index, and hands over a view sample so the client joins the
+  petal as a content peer;
+- a **content peer** "does not use D-ring anymore": it answers from its own
+  store, then from gossip-learnt content summaries (fetching from the
+  closest summarised holder), then by asking its directory peer, and only
+  then falls back to the origin web server.
+
+Maintenance (section 5):
+
+- keepalive and push messages keep the directory-index fresh and detect
+  directory failure;
+- dir-info (position id, address, age) is reconciled during gossip --
+  entries for the *same* directory position keep the smaller age;
+- the first content peer that detects its directory's failure tries to join
+  D-ring at the vacant position itself; losers of the race adopt the winner
+  (the ``"taken"`` / ``"race"`` join outcomes) and re-push their content;
+- a replacement directory answers early queries from the content summaries
+  it gossip-collected while still a plain content peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+from repro.cdn.base import BasePeer
+from repro.cdn.flower.directory import DirectoryRole
+from repro.errors import CDNError
+from repro.dht.node import ChordNode, LookupResult, NodeRef, deliver_route_result, route_step
+from repro.gossip.cyclon import CyclonProtocol
+from repro.gossip.summaries import make_summary
+from repro.gossip.view import Contact, PartialView
+from repro.net.message import Message
+from repro.sim.process import PeriodicProcess
+from repro.types import Address, ChordId, ObjectKey
+
+#: How many summary-advertised providers a content peer tries before
+#: falling back to its directory.
+_MAX_SUMMARY_ATTEMPTS = 2
+
+#: How many times a new client restarts its D-ring scan before giving up
+#: on the P2P system for this query.
+_MAX_SCAN_TRIES = 2
+
+
+@dataclass
+class DirInfo:
+    """What a content peer knows about its directory peer (section 5.1).
+
+    Attributes:
+        position_id: the D-ring identifier of the directory slot.
+        address: last known network address of its holder.
+        age: periods since we last heard from it; reset on any contact,
+            reconciled during gossip (smaller age wins).
+    """
+
+    position_id: ChordId
+    address: Address
+    age: int = 0
+
+    def pack(self) -> tuple:
+        return (self.position_id, self.address, self.age)
+
+    @staticmethod
+    def unpack(raw: Optional[tuple]) -> Optional["DirInfo"]:
+        if raw is None:
+            return None
+        return DirInfo(raw[0], raw[1], raw[2])
+
+
+class FlowerPeer(BasePeer):
+    """A Flower-CDN / PetalUp-CDN participant (see module docstring)."""
+
+    def __init__(self, system, identity, website, cluster_hint=None):
+        super().__init__(system, identity, website, cluster_hint)
+        # --- content role ---
+        self.view = PartialView(owner=self.address)
+        self.peer_summaries: Dict[Address, Any] = {}
+        self.summary = make_summary(system.params.summary_kind)
+        self.dir_info: Optional[DirInfo] = None
+        self.gossip = CyclonProtocol(
+            self,
+            self.view,
+            self.rng,
+            shuffle_size=system.params.gossip_shuffle_size,
+            local_data=self._gossip_data,
+            on_peer_data=self._on_gossip_data,
+            on_contact_dead=self._on_contact_dead,
+        )
+        self._gossip_process: Optional[PeriodicProcess] = None
+        self._keepalive_process: Optional[PeriodicProcess] = None
+        # --- directory role ---
+        self.directory: Optional[DirectoryRole] = None
+        self._sweep_process: Optional[PeriodicProcess] = None
+        self._recovering = False
+        self._registering = False
+
+    # ------------------------------------------------------------ dispatch
+    def on_message(self, message: Message) -> Optional[Dict[str, Any]]:
+        """Route chord/gossip traffic to components, the rest to handlers."""
+        if message.kind == "chord.route":
+            chord = self.directory.chord if self.directory is not None else None
+            return route_step(chord, self, message)
+        if message.kind == "chord.route_result":
+            return deliver_route_result(self, message)
+        if message.kind.startswith("chord."):
+            if self.directory is None or self.directory.chord is None:
+                # Stale D-ring traffic for a role we no longer hold.
+                if message.kind == "chord.probe":
+                    return {"status": "not_ready"}
+                return {}
+            return self.directory.chord.on_message(message)
+        if message.kind == "gossip.shuffle":
+            return self.gossip.handle_shuffle(message)
+        return super().on_message(message)
+
+    # ------------------------------------------------------------ lifecycle
+    def _on_session_begin(self) -> None:
+        # The browser cache survived the crash; the membership state did not.
+        self.summary = make_summary(self.system.params.summary_kind)
+        for key in self.store.keys():
+            self.summary.add(key)
+        if not self.system.catalog.is_active(self.website):
+            # Peers of non-active websites are "simply added to [their]
+            # petal upon arrival" (section 6.1) -- they join through a
+            # register scan rather than a first query.
+            self.sim.schedule(
+                self.rng.uniform(0.0, self.system.params.query_interval_ms),
+                self._register_with_petal,
+            )
+
+    def _on_crash(self) -> None:
+        for process_attr in ("_gossip_process", "_keepalive_process", "_sweep_process"):
+            process = getattr(self, process_attr)
+            if process is not None:
+                process.cancel()
+                setattr(self, process_attr, None)
+        if self.directory is not None:
+            if self.directory.chord is not None:
+                self.directory.chord.shutdown()
+            self.directory = None
+        self.dir_info = None
+        self.view.clear()
+        self.peer_summaries.clear()
+        self._recovering = False
+        self._registering = False
+
+    @property
+    def is_directory(self) -> bool:
+        return self.directory is not None
+
+    @property
+    def in_petal(self) -> bool:
+        """Content peer of some petal (registered with a directory)?"""
+        return self.dir_info is not None or self.is_directory
+
+    # =====================================================================
+    # Query resolution
+    # =====================================================================
+    def resolve_query(self, key: ObjectKey, started_at: float) -> None:
+        """Resolve one query via the Flower-CDN paths (module docstring)."""
+        if key in self.store:
+            self._finish_query(key, "hit_local", self.address, started_at)
+            return
+        if self.directory is not None and self._serves_own_petal():
+            self._query_own_directory(key, started_at)
+        elif self.dir_info is not None:
+            self._query_as_content_peer(key, started_at)
+        else:
+            self._scan_dring(key=key, started_at=started_at, instance=0, tries=0)
+
+    def _serves_own_petal(self) -> bool:
+        d = self.directory
+        return (
+            d is not None
+            and d.website == self.website
+            and d.locality == self.locality
+        )
+
+    # ------------------------------------------------- directory's own query
+    def _query_own_directory(self, key: ObjectKey, started_at: float) -> None:
+        """A directory peer resolves its own query from its index."""
+        d = self.directory
+        d.queries_handled += 1
+        provider = d.pick_provider(key, self.rng, exclude={self.address})
+        if provider is not None:
+            self._fetch_provider(key, provider, "hit_directory", started_at)
+            return
+        candidates = self._summary_candidates(key)
+        if candidates:
+            self._try_summary_fetch(key, candidates, started_at)
+            return
+        self._fetch_from_server(key, "miss_server", started_at)
+
+    # ------------------------------------------------- content-peer queries
+    def _query_as_content_peer(self, key: ObjectKey, started_at: float) -> None:
+        candidates = self._summary_candidates(key)
+        if candidates:
+            self._try_summary_fetch(key, candidates, started_at)
+        else:
+            self._ask_directory(key, started_at)
+
+    def _summary_candidates(self, key: ObjectKey) -> List[Address]:
+        """Petal members whose gossiped summary advertises *key*, closest
+        (lowest measured latency) first."""
+        candidates = [
+            address
+            for address, summary in self.peer_summaries.items()
+            if address != self.address
+            and address in self.view
+            and summary.contains(key)
+        ]
+        candidates.sort(key=lambda a: self.network.latency(self.address, a))
+        return candidates
+
+    def _try_summary_fetch(
+        self,
+        key: ObjectKey,
+        candidates: List[Address],
+        started_at: float,
+        attempt: int = 0,
+    ) -> None:
+        if not candidates or attempt >= _MAX_SUMMARY_ATTEMPTS:
+            self._ask_directory(key, started_at)
+            return
+        provider = candidates[0]
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if payload.get("ok"):
+                self._finish_query(key, "hit_summary", provider, started_at)
+            else:
+                # Bloom false positive (or a summary raced a pruned cache).
+                self.peer_summaries.pop(provider, None)
+                self._try_summary_fetch(key, candidates[1:], started_at, attempt + 1)
+
+        def on_timeout() -> None:
+            self._drop_contact(provider)
+            self._try_summary_fetch(key, candidates[1:], started_at, attempt + 1)
+
+        self.rpc(provider, "flower.fetch", {"key": key}, on_reply, on_timeout)
+
+    def _ask_directory(self, key: ObjectKey, started_at: float) -> None:
+        info = self.dir_info
+        if info is None:
+            self._scan_dring(key=key, started_at=started_at, instance=0, tries=0)
+            return
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            status = payload.get("status")
+            if status == "not_directory":
+                self._on_directory_failure(info)
+                self._fetch_from_server(key, "miss_failed", started_at)
+                return
+            info.age = 0
+            if status == "provider":
+                self._fetch_provider(
+                    key, payload["provider"], "hit_directory", started_at
+                )
+            elif payload.get("sibling_address") is not None:
+                self._ask_sibling(
+                    key, payload["sibling_address"], started_at, {info.address}
+                )
+            else:
+                self._fetch_from_server(key, "miss_server", started_at)
+
+        def on_timeout() -> None:
+            self._on_directory_failure(info)
+            self._fetch_from_server(key, "miss_failed", started_at)
+
+        self.rpc(
+            info.address,
+            "flower.query",
+            {"key": key, "member": True},
+            on_reply,
+            on_timeout,
+        )
+
+    def _ask_sibling(
+        self,
+        key: ObjectKey,
+        sibling: Address,
+        started_at: float,
+        visited: Set[Address],
+    ) -> None:
+        """Directory collaboration (section 3.2): walk the same website's
+        directory peers -- ring neighbours thanks to the key management
+        service -- before giving up on the P2P system.  The walk follows
+        successor direction along the website's contiguous identifier arc
+        and stops at its end, at a repeat, or after k-1 extra directories.
+        """
+        visited = visited | {sibling}
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            provider = payload.get("provider")
+            if payload.get("status") == "provider" and provider is not None:
+                self._fetch_provider(key, provider, "hit_transfer", started_at)
+                return
+            next_sibling = payload.get("sibling_address")
+            if (
+                next_sibling is not None
+                and next_sibling not in visited
+                and next_sibling != self.address
+                and len(visited) <= self.system.binner.num_localities
+            ):
+                self._ask_sibling(key, next_sibling, started_at, visited)
+            else:
+                self._fetch_from_server(key, "miss_server", started_at)
+
+        self.rpc(
+            sibling,
+            "flower.query",
+            {"key": key, "foreign": True},
+            on_reply,
+            on_timeout=lambda: self._fetch_from_server(key, "miss_server", started_at),
+        )
+
+    def _fetch_provider(
+        self,
+        key: ObjectKey,
+        provider: Address,
+        outcome: str,
+        started_at: float,
+        hops: int = 0,
+        sibling: Optional[Address] = None,
+    ) -> None:
+        if provider == self.address:
+            self._finish_query(key, "hit_local", self.address, started_at, hops)
+            return
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if payload.get("ok"):
+                self._finish_query(key, outcome, provider, started_at, hops)
+            else:
+                self._fetch_from_server(key, "miss_failed", started_at, hops)
+
+        def on_timeout() -> None:
+            self._drop_contact(provider)
+            # Tell our directory so it stops redirecting others to a corpse
+            # before the next expiry sweep notices.
+            if self.dir_info is not None:
+                self.send(self.dir_info.address, "flower.dead_provider", dead=provider)
+            self._fetch_from_server(key, "miss_failed", started_at, hops)
+
+        self.rpc(provider, "flower.fetch", {"key": key}, on_reply, on_timeout)
+
+    def handle_flower_dead_provider(self, message: Message) -> None:
+        """A client observed one of our indexed providers dead: evict it."""
+        d = self.directory
+        if d is not None:
+            d.remove_member(message.payload["dead"])
+        return None
+
+    # --------------------------------------------------- new-client D-ring
+    def _scan_dring(
+        self,
+        key: Optional[ObjectKey],
+        started_at: Optional[float],
+        instance: int,
+        tries: int,
+    ) -> None:
+        """Route over D-ring to d(ws, loc, instance); register on arrival.
+
+        With ``key`` set this is a new client's query (section 3.2); with
+        ``key=None`` it is a bare petal registration (non-active websites,
+        or a re-join after losing the directory).
+        """
+        service = self.system.key_service
+        position = service.position_id(self.website, self.locality, instance)
+        bootstrap = self.system.ring.random_bootstrap(self.rng)
+        if bootstrap is None:
+            # D-ring is empty: we are the first participant of the system.
+            self._claim_directory_position(key, started_at, instance=0)
+            return
+        lookup_node = ChordNode(self, self.system.ring, position)
+
+        def on_lookup(result: LookupResult) -> None:
+            if not self.alive:
+                return
+            if not result.ok:
+                self._scan_failed(key, started_at)
+            elif result.found.id == position:
+                self._contact_directory(
+                    key, started_at, result.found, instance, tries, result.hops
+                )
+            elif instance == 0:
+                # Vacant position: no directory for our petal exists.  A new
+                # client "can try to join D-ring as a directory peer"
+                # (section 5.2.2, case 2).
+                self._claim_directory_position(key, started_at, instance=0)
+            else:
+                # Every existing instance was overloaded and the next slot
+                # is still vacant; instance-1 (the final one) must process
+                # (it also triggers the PetalUp split -- section 4).
+                self._scan_failed(key, started_at)
+
+        # A transient Chord node object drives the lookup; it never joins
+        # the ring (lookups from non-members start at a bootstrap member).
+        lookup_node.lookup(position, on_lookup, start=bootstrap)
+
+    def _contact_directory(
+        self,
+        key: Optional[ObjectKey],
+        started_at: Optional[float],
+        found: NodeRef,
+        instance: int,
+        tries: int,
+        hops: int,
+    ) -> None:
+        payload: Dict[str, Any] = {"new_client": True}
+        if key is not None:
+            payload["key"] = key
+        else:
+            payload["register_only"] = True
+            payload["keys"] = sorted(self.store.keys())
+
+        def on_reply(reply: Dict[str, Any]) -> None:
+            status = reply.get("status")
+            if status == "scan" and reply.get("next_address") is not None:
+                next_instance = instance + 1
+                if next_instance < self.system.params.max_instances:
+                    self._contact_directory(
+                        key,
+                        started_at,
+                        NodeRef(found.id + 1, reply["next_address"]),
+                        next_instance,
+                        tries,
+                        hops,
+                    )
+                else:
+                    self._scan_failed(key, started_at)
+                return
+            if status == "not_directory":
+                self._retry_scan(key, started_at, tries)
+                return
+            self._adopt_registration(reply)
+            if key is None or started_at is None:
+                return
+            if status == "provider":
+                self._fetch_provider(
+                    key, reply["provider"], "hit_directory", started_at, hops
+                )
+            elif reply.get("sibling_address") is not None:
+                self._ask_sibling(
+                    key, reply["sibling_address"], started_at, {found.address}
+                )
+            else:
+                self._fetch_from_server(key, "miss_server", started_at, hops)
+
+        self.rpc(
+            found.address,
+            "flower.query",
+            payload,
+            on_reply,
+            on_timeout=lambda: self._retry_scan(key, started_at, tries),
+        )
+
+    def _retry_scan(
+        self,
+        key: Optional[ObjectKey],
+        started_at: Optional[float],
+        tries: int,
+    ) -> None:
+        if tries + 1 < _MAX_SCAN_TRIES:
+            self.sim.schedule(
+                self.system.params.scan_retry_delay_ms,
+                self._scan_dring,
+                key,
+                started_at,
+                0,
+                tries + 1,
+            )
+        else:
+            self._scan_failed(key, started_at)
+
+    def _scan_failed(self, key: Optional[ObjectKey], started_at: Optional[float]) -> None:
+        self._registering = False
+        if key is not None and started_at is not None:
+            self._fetch_from_server(key, "miss_failed", started_at)
+        elif self.alive and not self.in_petal:
+            # A bare registration attempt failed: try again later (query-less
+            # peers have no other trigger to re-enter the petal).
+            self.sim.schedule(
+                4 * self.system.params.scan_retry_delay_ms,
+                self._register_with_petal,
+            )
+
+    def _adopt_registration(self, reply: Dict[str, Any]) -> None:
+        """Join the petal: record dir-info, seed the view, start gossip."""
+        self._registering = False
+        position = reply.get("dir_position")
+        address = reply.get("dir_address")
+        if position is None or address is None:
+            return
+        if self.directory is not None:
+            return  # we became a directory in the meantime
+        self.dir_info = DirInfo(position, address, age=0)
+        for contact_address in reply.get("view_sample", []):
+            if contact_address != self.address:
+                self.view.add(Contact(contact_address, age=0))
+        self._start_content_processes()
+        self.sim.emit(
+            "flower.joined_petal", peer=self.address, position=position
+        )
+        # This directory has never seen our cache: push everything we hold
+        # so the directory-index reflects it (section 5.1).
+        self.store.reset_push_state()
+        if len(self.store):
+            self._push_to_directory()
+
+    def _register_with_petal(self) -> None:
+        """Bare registration (no query): non-active arrivals and re-joins."""
+        if not self.alive or self.in_petal or self._registering or self._recovering:
+            return
+        self._registering = True
+        self._scan_dring(key=None, started_at=None, instance=0, tries=0)
+
+    # =====================================================================
+    # Content-role periodic behaviour
+    # =====================================================================
+    def _start_content_processes(self) -> None:
+        params = self.system.params
+        if self._gossip_process is None or not self._gossip_process.active:
+            self._gossip_process = PeriodicProcess(
+                self.sim,
+                params.gossip_period_ms,
+                self._gossip_tick,
+                initial_delay=self.rng.uniform(0.0, params.gossip_period_ms),
+                jitter=0.05,
+                rng=self.rng,
+            )
+        if self._keepalive_process is None or not self._keepalive_process.active:
+            self._keepalive_process = PeriodicProcess(
+                self.sim,
+                params.keepalive_period_ms,
+                self._keepalive_tick,
+                initial_delay=self.rng.uniform(0.0, params.keepalive_period_ms),
+                jitter=0.05,
+                rng=self.rng,
+            )
+
+    def _gossip_tick(self) -> None:
+        if self.alive and self.directory is None:
+            self.gossip.gossip_round()
+
+    def _gossip_data(self) -> Dict[str, Any]:
+        return {
+            "summary": self.summary.snapshot(),
+            "dir": self.dir_info.pack() if self.dir_info else None,
+        }
+
+    def _on_gossip_data(self, src: Address, data: Dict[str, Any]) -> None:
+        summary = data.get("summary")
+        if summary is not None:
+            self.peer_summaries[src] = summary
+        self._reconcile_dir_info(DirInfo.unpack(data.get("dir")))
+
+    def _reconcile_dir_info(self, incoming: Optional[DirInfo]) -> None:
+        """Keep the fresher information about the same directory position
+        (section 5.1); adopt any directory of our petal if we have none."""
+        if incoming is None or self.directory is not None:
+            return
+        mine = self.dir_info
+        if mine is None:
+            decoded = self.system.key_service.decode(incoming.position_id)
+            if decoded is not None and decoded[0] == self.website and decoded[1] == self.locality:
+                self.dir_info = DirInfo(
+                    incoming.position_id, incoming.address, incoming.age
+                )
+                self._start_content_processes()
+                self.store.reset_push_state()
+                if len(self.store):
+                    self._push_to_directory()
+            return
+        if mine.position_id == incoming.position_id and incoming.age < mine.age:
+            replaced = mine.address != incoming.address
+            mine.address = incoming.address
+            mine.age = incoming.age
+            if replaced:
+                # The slot changed hands: the replacement directory must
+                # learn our content to rebuild its index (section 5.2.2).
+                self.store.reset_push_state()
+                if len(self.store):
+                    self._push_to_directory()
+
+    def _on_contact_dead(self, address: Address) -> None:
+        self.peer_summaries.pop(address, None)
+
+    def _drop_contact(self, address: Address) -> None:
+        self.view.remove(address)
+        self.peer_summaries.pop(address, None)
+
+    def _keepalive_tick(self) -> None:
+        if not self.alive or self.directory is not None:
+            return
+        info = self.dir_info
+        if info is None:
+            self._register_with_petal()
+            return
+        info.age += 1
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if payload.get("status") == "ok":
+                info.age = 0
+            else:
+                self._on_directory_failure(info)
+
+        self.rpc(
+            info.address,
+            "flower.keepalive",
+            {},
+            on_reply,
+            on_timeout=lambda: self._on_directory_failure(info),
+        )
+
+    def _push_to_directory(self) -> None:
+        info = self.dir_info
+        if info is None or not self.alive:
+            return
+        keys = sorted(self.store.keys())
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if payload.get("status") == "ok":
+                self.store.mark_pushed()
+                info.age = 0
+            else:
+                self._on_directory_failure(info)
+
+        self.rpc(
+            info.address,
+            "flower.push",
+            {"keys": keys},
+            on_reply,
+            on_timeout=lambda: self._on_directory_failure(info),
+        )
+
+    def _on_evicted(self, keys) -> None:
+        # Summaries have no removal (Bloom filters cannot unlearn), so
+        # rebuild from the store; the next push carries the full key list
+        # and the directory's set-diff unlearns the evictions.
+        self.summary = make_summary(self.system.params.summary_kind)
+        for key in self.store.keys():
+            self.summary.add(key)
+
+    def _after_query(self, key: ObjectKey, outcome: str) -> None:
+        self.summary.add(key)
+        if self.directory is not None:
+            return  # a directory consults its own store directly
+        if self.dir_info is not None and self.store.should_push(
+            self.system.params.push_threshold
+        ):
+            self._push_to_directory()
+
+    # =====================================================================
+    # Directory failure recovery and role acquisition (section 5.2)
+    # =====================================================================
+    def _on_directory_failure(self, info: DirInfo) -> None:
+        """We observed our directory peer dead: race to replace it."""
+        if self.dir_info is not info and self.dir_info is not None:
+            return  # already re-pointed (gossip beat us to it)
+        self.dir_info = None
+        self.sim.emit(
+            "flower.directory_failure_detected",
+            peer=self.address,
+            position=info.position_id,
+        )
+        if self._recovering or self.directory is not None:
+            return
+        decoded = self.system.key_service.decode(info.position_id)
+        if decoded is None:
+            return
+        website, locality, instance = decoded
+        self._begin_directory_role(website, locality, instance, info.position_id)
+
+    def _claim_directory_position(
+        self,
+        key: Optional[ObjectKey],
+        started_at: Optional[float],
+        instance: int,
+    ) -> None:
+        """A new client found its petal's position vacant (section 5.2.2)."""
+        self._registering = False
+        if self._recovering or self.directory is not None:
+            if key is not None and started_at is not None:
+                self._fetch_from_server(key, "miss_server", started_at)
+            return
+        position = self.system.key_service.position_id(
+            self.website, self.locality, instance
+        )
+        self._begin_directory_role(
+            self.website, self.locality, instance, position
+        )
+        if key is not None and started_at is not None:
+            # Nobody indexed our petal yet; this query can only be a miss.
+            self._fetch_from_server(key, "miss_server", started_at)
+
+    def _begin_directory_role(
+        self,
+        website: int,
+        locality: int,
+        instance: int,
+        position: ChordId,
+        snapshot: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Try to join D-ring at *position*; only the first joiner wins."""
+        self._recovering = True
+        role = DirectoryRole(self.address, website, locality, instance, position)
+        role.chord = ChordNode(self, self.system.ring, position)
+        if snapshot is not None:
+            role.adopt_snapshot(snapshot)
+        bootstrap = self.system.ring.random_bootstrap(self.rng)
+
+        def on_joined() -> None:
+            self._directory_role_active(role)
+
+        def on_failed(reason: str, holder: Optional[NodeRef]) -> None:
+            self._recovering = False
+            role.chord.shutdown()
+            if holder is not None and self.alive:
+                # Someone else integrated first: adopt them (section 5.2.2)
+                # and hand them our content by pushing.
+                self.dir_info = DirInfo(position, holder.address, age=0)
+                self._start_content_processes()
+                self.store.reset_push_state()
+                if len(self.store):
+                    self._push_to_directory()
+            self.sim.emit(
+                "flower.directory_join_failed",
+                peer=self.address,
+                reason=reason,
+            )
+
+        if bootstrap is None:
+            role.chord.create()
+            self._directory_role_active(role)
+        else:
+            role.chord.join(bootstrap, on_joined, on_failed)
+
+    def _directory_role_active(self, role: DirectoryRole) -> None:
+        self._recovering = False
+        if not self.alive:
+            role.chord.shutdown()
+            return
+        self.directory = role
+        self.dir_info = None
+        # Directory peers leave the content-peer gossip/keepalive loops;
+        # their view and summaries live on to answer early queries
+        # ("p can try to answer first received queries from its content
+        # summaries" -- section 5.2.2).
+        params = self.system.params
+        if self._sweep_process is None or not self._sweep_process.active:
+            self._sweep_process = PeriodicProcess(
+                self.sim,
+                params.keepalive_period_ms,
+                self._sweep_tick,
+                initial_delay=params.keepalive_period_ms,
+                jitter=0.05,
+                rng=self.rng,
+            )
+        self.sim.emit(
+            "flower.directory_active",
+            peer=self.address,
+            position=role.position_id,
+            website=role.website,
+            locality=role.locality,
+            instance=role.instance,
+        )
+
+    def _sweep_tick(self) -> None:
+        if self.directory is None or not self.alive:
+            return
+        expired = self.directory.expire_members(
+            self.system.params.member_expiry_rounds
+        )
+        if expired:
+            self.sim.emit(
+                "flower.members_expired",
+                directory=self.address,
+                count=len(expired),
+            )
+
+    def leave_directory_gracefully(self) -> None:
+        """Voluntary departure of a directory peer (section 5.2.2): transfer
+        a copy of the view and directory-index to a content peer, which
+        joins D-ring in our place, then leave the ring."""
+        role = self.directory
+        if role is None:
+            return
+        heir = role.member_sample(self.rng, 1)
+        snapshot = role.snapshot()
+        if role.chord is not None:
+            role.chord.leave_gracefully()
+        self.directory = None
+        if self._sweep_process is not None:
+            self._sweep_process.cancel()
+            self._sweep_process = None
+        if heir:
+            self.send(
+                heir[0],
+                "flower.handoff",
+                snapshot=snapshot,
+                website=role.website,
+                locality=role.locality,
+                instance=role.instance,
+                position=role.position_id,
+            )
+        self.sim.emit("flower.directory_left", peer=self.address)
+
+    # =====================================================================
+    # Message handlers (directory side)
+    # =====================================================================
+    def handle_flower_query(self, message: Message) -> Dict[str, Any]:
+        """Directory-side query processing (sections 3.2 and 4)."""
+        d = self.directory
+        if d is None:
+            return {"status": "not_directory"}
+        payload = message.payload
+        key = tuple(payload["key"]) if payload.get("key") is not None else None
+        d.queries_handled += 1
+        params = self.system.params
+
+        if payload.get("foreign"):
+            # A sibling directory's miss (collaboration): answer from our
+            # index/store only; no registration.  On a miss, point the
+            # client at the next same-website neighbour so it can continue
+            # the walk.
+            provider = self._directory_provider(d, key, exclude={message.src})
+            if provider is not None:
+                return {"status": "provider", "provider": provider}
+            return {"status": "miss", "sibling_address": self._sibling_address(d)}
+
+        if payload.get("new_client"):
+            if d.overloaded(params.directory_load_limit):
+                next_address = self._next_instance_address(d)
+                if next_address is not None:
+                    return {"status": "scan", "next_address": next_address}
+                # We are the final instance: trigger the PetalUp split and
+                # process this client ourselves (section 4).
+                self._maybe_promote_next(d)
+            keys = payload.get("keys", [])
+            d.add_member(message.src, [tuple(k) for k in keys])
+            reply = self._registration_payload(d, message.src)
+        elif payload.get("member"):
+            if d.has_member(message.src):
+                d.touch_member(message.src)
+            else:
+                d.add_member(message.src)
+            reply = {}
+        else:
+            reply = {}
+
+        if payload.get("register_only") or key is None:
+            reply["status"] = "registered"
+            return reply
+
+        provider = self._directory_provider(d, key, exclude={message.src})
+        if provider is not None:
+            reply["status"] = "provider"
+            reply["provider"] = provider
+        else:
+            reply["status"] = "miss"
+            if params.directory_collaboration:
+                sibling = self._sibling_address(d)
+                if sibling is not None:
+                    reply["sibling_address"] = sibling
+        return reply
+
+    def _directory_provider(
+        self,
+        d: DirectoryRole,
+        key: ObjectKey,
+        exclude: Set[Address],
+    ) -> Optional[Address]:
+        provider = d.pick_provider(key, self.rng, exclude=exclude)
+        if provider is not None:
+            return provider
+        if key in self.store and self.address not in exclude:
+            return self.address
+        # Fall back to content summaries gossip-collected while we were a
+        # plain content peer (fresh replacement directories rely on this).
+        for address, summary in self.peer_summaries.items():
+            if address not in exclude and summary.contains(key):
+                return address
+        return None
+
+    def _registration_payload(self, d: DirectoryRole, joiner: Address) -> Dict[str, Any]:
+        sample = d.member_sample(self.rng, self.system.params.gossip_shuffle_size)
+        if len(sample) < self.system.params.gossip_shuffle_size:
+            # Fresh instances hand out their legacy content view instead
+            # ("provides them with a subset of its old view" -- section 4).
+            legacy = self.view.sample(
+                self.rng,
+                self.system.params.gossip_shuffle_size - len(sample),
+                exclude=set(sample) | {joiner},
+            )
+            sample.extend(contact.address for contact in legacy)
+        return {
+            "dir_position": d.position_id,
+            "dir_address": self.address,
+            "view_sample": [a for a in sample if a != joiner],
+        }
+
+    def _next_instance_address(self, d: DirectoryRole) -> Optional[Address]:
+        """Address of d(ws, loc, instance+1), if it exists.
+
+        Successive identifiers make the next instance our ring successor,
+        so no lookup is needed -- the point of the key management service.
+        """
+        if d.instance + 1 >= self.system.params.max_instances:
+            return None
+        next_position = self.system.key_service.position_id(
+            d.website, d.locality, d.instance + 1
+        )
+        chord = d.chord
+        if chord is not None and chord.successor is not None:
+            if chord.successor.id == next_position:
+                return chord.successor.address
+        return None
+
+    def _sibling_address(self, d: DirectoryRole) -> Optional[Address]:
+        """The next same-website directory on D-ring (collaboration walk).
+
+        Successive identifiers put every directory of one website on a
+        contiguous arc, so "the next sibling" is simply our ring successor
+        while it still decodes to the same website.
+        """
+        chord = d.chord
+        if chord is None or chord.successor is None:
+            return None
+        succ = chord.successor
+        if succ.address != self.address and self.system.key_service.same_website(
+            succ.id, d.position_id
+        ):
+            return succ.address
+        return None
+
+    def _maybe_promote_next(self, d: DirectoryRole) -> None:
+        """PetalUp split: ask one of our content peers to become d_{i+1}."""
+        if d.promoting or d.instance + 1 >= self.system.params.max_instances:
+            return
+        candidates = d.member_sample(self.rng, 1)
+        if not candidates:
+            return
+        target = candidates[0]
+        d.promoting = True
+        next_position = self.system.key_service.position_id(
+            d.website, d.locality, d.instance + 1
+        )
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if payload.get("accepted"):
+                # "The replacing content peer is then removed from the
+                # directory-index of d_i" (section 4).
+                d.remove_member(target)
+            # Allow another attempt later either way; if the promotion
+            # succeeded our successor pointer will show it.
+            self.sim.schedule(
+                self.system.params.scan_retry_delay_ms, self._reset_promoting, d
+            )
+
+        def on_timeout() -> None:
+            d.promoting = False
+            d.remove_member(target)
+
+        self.rpc(
+            target,
+            "flower.promote",
+            {
+                "website": d.website,
+                "locality": d.locality,
+                "instance": d.instance + 1,
+                "position": next_position,
+            },
+            on_reply,
+            on_timeout,
+        )
+
+    def _reset_promoting(self, d: DirectoryRole) -> None:
+        d.promoting = False
+
+    def handle_flower_promote(self, message: Message) -> Dict[str, Any]:
+        """A directory asks us to become the next instance (PetalUp)."""
+        if self.directory is not None or self._recovering or not self.alive:
+            return {"accepted": False}
+        payload = message.payload
+        self._begin_directory_role(
+            payload["website"],
+            payload["locality"],
+            payload["instance"],
+            payload["position"],
+        )
+        return {"accepted": True}
+
+    def handle_flower_handoff(self, message: Message) -> None:
+        """Receive a leaving directory's state and take its place."""
+        if self.directory is not None or self._recovering or not self.alive:
+            return None
+        payload = message.payload
+        self._begin_directory_role(
+            payload["website"],
+            payload["locality"],
+            payload["instance"],
+            payload["position"],
+            snapshot=payload.get("snapshot"),
+        )
+        return None
+
+    def handle_flower_fetch(self, message: Message) -> Dict[str, Any]:
+        """Serve an object from our cache to a petal member."""
+        key = tuple(message.payload["key"])
+        return {"ok": key in self.store}
+
+    def handle_flower_push(self, message: Message) -> Dict[str, Any]:
+        """Apply a member's content push to the directory-index."""
+        d = self.directory
+        if d is None:
+            return {"status": "not_directory"}
+        keys = [tuple(k) for k in message.payload.get("keys", [])]
+        if d.has_member(message.src):
+            d.touch_member(message.src)
+            d.update_member_keys(message.src, keys)
+        else:
+            d.add_member(message.src, keys)
+        return {"status": "ok"}
+
+    def handle_flower_keepalive(self, message: Message) -> Dict[str, Any]:
+        """Refresh (or re-admit) a member on keepalive (section 5.1)."""
+        d = self.directory
+        if d is None:
+            return {"status": "not_directory"}
+        if d.has_member(message.src):
+            d.touch_member(message.src)
+        else:
+            d.add_member(message.src)
+        return {"status": "ok"}
+
+    # =====================================================================
+    # Keyword search extension (paper section 7 future work; optional)
+    # =====================================================================
+    def handle_flower_search(self, message: Message) -> Dict[str, Any]:
+        """Answer a petal keyword search from the directory-index."""
+        engine = self.system.search_engine
+        d = self.directory
+        if engine is None or d is None:
+            return {"status": "not_directory"}
+        matches = engine.search_index(
+            d.index, self.store.keys(), self.address, message.payload["keyword"]
+        )
+        return {"status": "ok", "matches": [(tuple(k), a) for k, a in matches]}
+
+    def search(self, keyword: str, on_results) -> None:
+        """Find petal members holding objects about *keyword*.
+
+        Requires ``system.search_engine`` to be set (see
+        :mod:`repro.cdn.flower.search`).  A directory peer answers from its
+        own index; a content peer asks its directory; an unregistered peer
+        gets no results.
+        """
+        engine = self.system.search_engine
+        if engine is None:
+            raise CDNError("keyword search requires system.search_engine")
+        if self.directory is not None:
+            on_results(
+                engine.search_index(
+                    self.directory.index, self.store.keys(), self.address, keyword
+                )
+            )
+            return
+        info = self.dir_info
+        if info is None:
+            on_results([])
+            return
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if payload.get("status") != "ok":
+                on_results([])
+                return
+            on_results([(tuple(key), address) for key, address in payload["matches"]])
+
+        self.rpc(
+            info.address,
+            "flower.search",
+            {"keyword": keyword},
+            on_reply,
+            on_timeout=lambda: on_results([]),
+        )

@@ -1,0 +1,119 @@
+"""Keyword search within petals (the paper's future work, section 7).
+
+The paper closes with: "In the future, we plan to explore sophisticated
+search functionalities wrt. semantic and personalized search."  This module
+implements the natural first step on top of Flower-CDN's existing
+machinery: *keyword* search resolved by the petal's directory peer.
+
+Model: every object carries a small deterministic set of keywords (standing
+in for extracted content terms).  A directory peer already knows which
+member holds which object (the directory-index); inverting it by keyword
+answers "who in my petal has anything about K?" with zero extra protocol
+state -- the index keeps itself fresh through the usual push/expiry
+maintenance, so search inherits Flower-CDN's churn robustness for free.
+
+Usage::
+
+    system.search_engine = KeywordSearchEngine(KeywordSpace(num_keywords=50))
+    peer.search("kw7", on_results)   # content peers ask their directory;
+                                     # directory peers answer locally
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Set, Tuple
+
+from repro.errors import CDNError
+from repro.types import Address, ObjectKey
+
+#: One search result: (object key, address of a provider).
+SearchMatch = Tuple[ObjectKey, Address]
+
+SearchCallback = Callable[[List[SearchMatch]], None]
+
+
+class KeywordSpace:
+    """Deterministic object -> keywords mapping.
+
+    Stands in for real content-derived terms: every object gets between
+    ``min_keywords`` and ``max_keywords`` keywords chosen by hashing, so all
+    peers agree on the mapping without exchanging metadata.
+    """
+
+    def __init__(
+        self,
+        num_keywords: int = 50,
+        min_keywords: int = 1,
+        max_keywords: int = 3,
+    ) -> None:
+        if num_keywords < 1:
+            raise CDNError("need at least one keyword")
+        if not 1 <= min_keywords <= max_keywords:
+            raise CDNError("need 1 <= min_keywords <= max_keywords")
+        self.num_keywords = num_keywords
+        self.min_keywords = min_keywords
+        self.max_keywords = max_keywords
+
+    def all_keywords(self) -> List[str]:
+        """Every keyword in the space."""
+        return [f"kw{i}" for i in range(self.num_keywords)]
+
+    def keywords_of(self, key: ObjectKey) -> Set[str]:
+        """The object's keywords (deterministic, stable everywhere)."""
+        digest = hashlib.sha256(f"kw:{key[0]}:{key[1]}".encode()).digest()
+        count = self.min_keywords + digest[0] % (
+            self.max_keywords - self.min_keywords + 1
+        )
+        chosen = set()
+        position = 1
+        while len(chosen) < count:
+            chunk = digest[position: position + 2]
+            if len(chunk) < 2:  # pragma: no cover - 32-byte digest suffices
+                break
+            chosen.add(f"kw{int.from_bytes(chunk, 'big') % self.num_keywords}")
+            position += 2
+        return chosen
+
+    def matches(self, key: ObjectKey, keyword: str) -> bool:
+        """Does *key* carry *keyword*?"""
+        return keyword in self.keywords_of(key)
+
+
+class KeywordSearchEngine:
+    """Directory-side keyword resolution over the directory-index."""
+
+    def __init__(self, space: KeywordSpace, max_results: int = 20) -> None:
+        if max_results < 1:
+            raise CDNError("max_results must be positive")
+        self.space = space
+        self.max_results = max_results
+
+    def search_index(
+        self,
+        index: Dict[ObjectKey, Set[Address]],
+        own_store_keys: Set[ObjectKey],
+        own_address: Address,
+        keyword: str,
+    ) -> List[SearchMatch]:
+        """All (object, provider) pairs in a petal matching *keyword*.
+
+        Providers come from the directory-index; the directory's own cache
+        participates too (it is a content peer of its petal).
+        """
+        matches: List[SearchMatch] = []
+        for key, providers in index.items():
+            if providers and self.space.matches(key, keyword):
+                matches.append((key, next(iter(sorted(providers)))))
+                if len(matches) >= self.max_results:
+                    return matches
+        for key in sorted(own_store_keys):
+            if self.space.matches(key, keyword) and all(
+                key != k for k, __ in matches
+            ):
+                matches.append((key, own_address))
+                if len(matches) >= self.max_results:
+                    break
+        return matches
+
+

@@ -1,0 +1,136 @@
+"""Flower-CDN system orchestration.
+
+Owns the D-ring (one Chord overlay whose members are directory peers), the
+key-management service, and the peer population.  The experiment runner
+drives it through the churn callbacks of :class:`~repro.cdn.base.CdnSystem`.
+
+Initial population (paper section 6.1): "We start with a population of
+k x |W| = 600 directory peers which have limited uptimes and form the
+initial D-ring (i.e., one directory peer per couple (website, locality))."
+:meth:`FlowerSystem.setup_initial_population` creates exactly that: one
+peer per (website, locality), placed in the matching locality, given the
+directory role, and wired into a warm-started (already stabilized) D-ring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cdn.base import BasePeer, CdnSystem, ProtocolParams
+from repro.cdn.flower.directory import DirectoryRole
+from repro.cdn.flower.dring import DRingKeyService
+from repro.cdn.flower.peer import FlowerPeer
+from repro.dht.node import ChordNode
+from repro.dht.ring import ChordRing
+from repro.errors import CDNError
+from repro.metrics.collector import MetricsCollector
+from repro.net.landmarks import LandmarkBinner
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+from repro.workload.catalog import Catalog
+
+#: Attempts to place a seeded directory peer inside its target locality
+#: before accepting a (slightly suboptimal) out-of-locality placement.
+_MAX_PLACEMENT_TRIES = 8
+
+
+class FlowerSystem(CdnSystem):
+    """Flower-CDN (and, with the right params, PetalUp-CDN)."""
+
+    name = "flower"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        binner: LandmarkBinner,
+        catalog: Catalog,
+        params: ProtocolParams,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        super().__init__(sim, network, binner, catalog, params, metrics)
+        self.ring = ChordRing(params.dring)
+        self.key_service = DRingKeyService(
+            self.ring.space,
+            catalog.num_websites,
+            binner.num_localities,
+            params.max_instances,
+        )
+        self.seed_identities: List[int] = []
+        #: Optional keyword-search extension (paper section 7 future work);
+        #: set a :class:`~repro.cdn.flower.search.KeywordSearchEngine` to
+        #: enable ``FlowerPeer.search``.
+        self.search_engine = None
+
+    # ---------------------------------------------------------------- peers
+    def _make_peer(self, identity: int) -> BasePeer:
+        return FlowerPeer(self, identity, self.website_of(identity))
+
+    # ------------------------------------------------------------- seeding
+    @property
+    def num_seed_identities(self) -> int:
+        """k x |W|: one initial directory peer per (website, locality)."""
+        return self.catalog.num_websites * self.binner.num_localities
+
+    def setup_initial_population(self) -> None:
+        """Create the initial directory peers and warm-start D-ring."""
+        if self.seed_identities:
+            raise CDNError("initial population already created")
+        chord_nodes: List[ChordNode] = []
+        roles: List[DirectoryRole] = []
+        peers: List[FlowerPeer] = []
+        identity = 0
+        for website, locality, position in self.key_service.all_positions(0):
+            self.assign_website(identity, website)
+            peer = self._place_peer_in_locality(identity, website, locality)
+            self.peers[identity] = peer
+            self.seed_identities.append(identity)
+            role = DirectoryRole(peer.address, website, locality, 0, position)
+            role.chord = ChordNode(peer, self.ring, position)
+            chord_nodes.append(role.chord)
+            roles.append(role)
+            peers.append(peer)
+            identity += 1
+        self.ring.warm_start(chord_nodes)
+        for peer, role in zip(peers, roles):
+            peer.begin_session()
+            peer._directory_role_active(role)
+
+    def _place_peer_in_locality(
+        self, identity: int, website: int, locality: int
+    ) -> FlowerPeer:
+        """Create a peer whose landmark-binned locality is *locality*.
+
+        The topology honours the cluster hint but binning is probabilistic
+        at cluster borders, so retry a few times; accept a mismatch after
+        that (the directory then simply serves a petal it sits slightly
+        outside of, which a real deployment also cannot preclude).
+        """
+        for attempt in range(_MAX_PLACEMENT_TRIES):
+            peer = FlowerPeer(self, identity, website, cluster_hint=locality)
+            if peer.locality == locality:
+                return peer
+            peer.fail()  # discard the badly placed candidate host
+        self.sim.emit("flower.seed_placement_mismatch", locality=locality)
+        peer = FlowerPeer(self, identity, website, cluster_hint=locality)
+        peer.locality = locality  # serve the intended petal regardless
+        return peer
+
+    # ------------------------------------------------------------- reports
+    def directory_count(self) -> int:
+        """Currently active directory peers (D-ring population)."""
+        return len(self.ring.active_members())
+
+    def petal_size(self, website: int, locality: int) -> int:
+        """Members across all directory instances of one petal."""
+        total = 0
+        for peer in self.peers.values():
+            d = peer.directory
+            if (
+                peer.alive
+                and d is not None
+                and d.website == website
+                and d.locality == locality
+            ):
+                total += d.load
+        return total

@@ -1,0 +1,17 @@
+"""PetalUp-CDN (paper section 4).
+
+PetalUp-CDN is Flower-CDN with elastic directory capacity: each petal may
+be served by up to ``2**m`` directory-peer instances at successive D-ring
+identifiers; an instance whose member view exceeds the load limit steers
+new clients to the next instance, and -- when it is the last one -- selects
+one of its content peers to join D-ring as the next instance.
+
+All of that behaviour lives in :mod:`repro.cdn.flower` (the scan in
+``FlowerPeer._contact_directory``, the split in
+``FlowerPeer._maybe_promote_next``); this package contributes the system
+class that turns it on via :class:`~repro.cdn.base.ProtocolParams`.
+"""
+
+from repro.cdn.petalup.system import PetalUpSystem, petalup_params
+
+__all__ = ["PetalUpSystem", "petalup_params"]

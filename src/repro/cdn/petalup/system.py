@@ -1,0 +1,69 @@
+"""PetalUp-CDN system class.
+
+The protocol mechanics (instance scan, load-triggered splits, view handoff)
+are implemented on :class:`~repro.cdn.flower.peer.FlowerPeer`; PetalUp-CDN
+is the configuration that activates them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.cdn.base import ProtocolParams
+from repro.cdn.flower.system import FlowerSystem
+from repro.errors import CDNError
+
+#: The paper observes petals "never surpass 30" peers at the simulated
+#: scales; PetalUp's default load limit splits a directory at that size.
+DEFAULT_LOAD_LIMIT = 30
+
+#: Default cap on instances per petal (the paper's 2**m).
+DEFAULT_MAX_INSTANCES = 8
+
+
+def petalup_params(
+    base: Optional[ProtocolParams] = None,
+    load_limit: int = DEFAULT_LOAD_LIMIT,
+    max_instances: int = DEFAULT_MAX_INSTANCES,
+) -> ProtocolParams:
+    """Derive PetalUp-CDN parameters from a (Flower) parameter set."""
+    if load_limit < 1:
+        raise CDNError("load_limit must be >= 1")
+    if max_instances < 2:
+        raise CDNError("PetalUp-CDN needs max_instances >= 2")
+    base = base or ProtocolParams()
+    return dataclasses.replace(
+        base,
+        directory_load_limit=load_limit,
+        max_instances=max_instances,
+    )
+
+
+class PetalUpSystem(FlowerSystem):
+    """Flower-CDN with elastic, load-split directory instances."""
+
+    name = "petalup"
+
+    def __init__(self, sim, network, binner, catalog, params, metrics=None):
+        if params.max_instances < 2 or params.directory_load_limit is None:
+            raise CDNError(
+                "PetalUpSystem requires max_instances >= 2 and a finite "
+                "directory_load_limit; use petalup_params()"
+            )
+        super().__init__(sim, network, binner, catalog, params, metrics)
+
+    # ------------------------------------------------------------- reports
+    def instance_count(self, website: int, locality: int) -> int:
+        """How many directory instances currently serve one petal."""
+        count = 0
+        for peer in self.peers.values():
+            d = peer.directory
+            if (
+                peer.alive
+                and d is not None
+                and d.website == website
+                and d.locality == locality
+            ):
+                count += 1
+        return count

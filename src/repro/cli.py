@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows without writing Python::
+
+    python -m repro run flower --population 240 --hours 12
+    python -m repro compare --population 240 --hours 12 --plot
+    python -m repro sweep --populations 120,180,240 --protocols flower,squirrel
+    python -m repro overhead squirrel --population 120 --hours 6
+
+``--paper`` switches any command from the reduced default scale to the
+paper's full Table 1 parameters (expect minutes of wall clock).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.ascii import line_chart
+from repro.analysis.compare import ComparisonReport
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import PROTOCOLS, run_experiment
+from repro.metrics.overhead import OverheadReport
+from repro.metrics.report import render_table
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--population", type=int, default=240, help="mean population P")
+    parser.add_argument("--hours", type=float, default=12.0, help="simulated hours")
+    parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the paper's full Table 1 parameters (slow)",
+    )
+    parser.add_argument("--json", metavar="PATH", help="also write the result as JSON")
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    if args.paper:
+        return ExperimentConfig.paper(
+            population=args.population, duration_hours=args.hours
+        )
+    return ExperimentConfig.scaled(
+        population=args.population, duration_hours=args.hours
+    )
+
+
+def _maybe_write_json(args: argparse.Namespace, payload: dict) -> None:
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+
+def _print_result(result) -> None:
+    print(result.summary_line())
+    print()
+    print(
+        render_table(
+            ["outcome", "queries", "share"],
+            [
+                [outcome, count, f"{count / max(result.queries, 1):.1%}"]
+                for outcome, count in sorted(result.outcome_counts.items())
+            ],
+        )
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Handler of ``repro run``: one experiment, printed summary."""
+    config = _config_from(args)
+    result = run_experiment(args.protocol, config, seed=args.seed)
+    _print_result(result)
+    if args.plot and result.hit_ratio_curve:
+        print()
+        print(
+            line_chart(
+                {args.protocol: result.hit_ratio_curve},
+                title="cumulative hit ratio",
+                x_label="hours",
+            )
+        )
+    _maybe_write_json(args, result.to_dict())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Handler of ``repro compare``: Flower vs Squirrel + shape checks."""
+    config = _config_from(args)
+    flower = run_experiment("flower", config, seed=args.seed)
+    squirrel = run_experiment("squirrel", config, seed=args.seed)
+    report = ComparisonReport(flower, squirrel)
+    print(report.render())
+    if args.plot:
+        print()
+        print(
+            line_chart(
+                {
+                    "flower": flower.hit_ratio_curve,
+                    "squirrel": squirrel.hit_ratio_curve,
+                },
+                title="Figure 3 -- cumulative hit ratio",
+                x_label="hours",
+            )
+        )
+    _maybe_write_json(
+        args, {"flower": flower.to_dict(), "squirrel": squirrel.to_dict()}
+    )
+    return 0 if report.all_passed else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Handler of ``repro sweep``: Table-2-style population sweep."""
+    populations = [int(p) for p in args.populations.split(",")]
+    protocols = args.protocols.split(",")
+    rows = []
+    payload = {}
+    for population in populations:
+        for protocol in protocols:
+            namespace = argparse.Namespace(
+                population=population,
+                hours=args.hours,
+                paper=args.paper,
+                seed=args.seed,
+            )
+            config = _config_from(namespace)
+            result = run_experiment(protocol, config, seed=args.seed)
+            rows.append(
+                [
+                    population,
+                    protocol,
+                    f"{result.hit_ratio:.2f}",
+                    f"{result.mean_lookup_latency_ms:.0f} ms",
+                    f"{result.mean_transfer_ms:.0f} ms",
+                ]
+            )
+            payload[f"{protocol}_{population}"] = result.to_dict()
+    print(
+        render_table(
+            ["P", "approach", "hit ratio", "lookup", "transfer"],
+            rows,
+            title="scalability sweep (Table 2 style)",
+        )
+    )
+    _maybe_write_json(args, payload)
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    """Handler of ``repro overhead``: message-overhead breakdown."""
+    config = _config_from(args)
+    result = run_experiment(args.protocol, config, seed=args.seed)
+    report = OverheadReport(result.extra["message_counts"], result.queries)
+    print(result.summary_line())
+    print()
+    print(report.render())
+    _maybe_write_json(args, result.to_dict())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flower-CDN / PetalUp-CDN reproduction (El Dick, VLDB 2009)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("protocol", choices=sorted(PROTOCOLS))
+    run_parser.add_argument("--plot", action="store_true", help="ASCII hit-ratio chart")
+    _add_common_arguments(run_parser)
+    run_parser.set_defaults(handler=cmd_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="Flower vs Squirrel with the paper's shape checks"
+    )
+    compare_parser.add_argument("--plot", action="store_true")
+    _add_common_arguments(compare_parser)
+    compare_parser.set_defaults(handler=cmd_compare)
+
+    sweep_parser = subparsers.add_parser("sweep", help="population sweep (Table 2)")
+    sweep_parser.add_argument("--populations", default="120,180,240")
+    sweep_parser.add_argument("--protocols", default="flower,squirrel")
+    _add_common_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
+    overhead_parser = subparsers.add_parser(
+        "overhead", help="message-overhead breakdown of one run"
+    )
+    overhead_parser.add_argument("protocol", choices=sorted(PROTOCOLS))
+    _add_common_arguments(overhead_parser)
+    overhead_parser.set_defaults(handler=cmd_overhead)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Ring health diagnostics.
+
+Operational tooling for inspecting a Chord overlay mid-simulation: how
+consistent are the successor pointers, how stale are the finger tables,
+how balanced is key ownership.  Tests use these to assert convergence;
+the CLI and examples use them to explain what churn is doing to the ring.
+
+All functions take the *global* view (the ring registry), which no real
+node has -- they are measurement instruments, not protocol components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dht.ring import ChordRing
+from repro.metrics.report import render_table
+
+
+@dataclass(frozen=True)
+class RingHealth:
+    """Snapshot of a ring's structural health.
+
+    Attributes:
+        members: live, joined members.
+        consistent_successors: members whose successor pointer equals the
+            next live member in identifier order.
+        consistent_predecessors: same for predecessor pointers.
+        stale_finger_fraction: fraction of non-null finger entries that
+            point at nodes no longer alive in the ring.
+        mean_successor_list_length: resilience margin against failures.
+    """
+
+    members: int
+    consistent_successors: int
+    consistent_predecessors: int
+    stale_finger_fraction: float
+    mean_successor_list_length: float
+
+    @property
+    def successor_consistency(self) -> float:
+        return self.consistent_successors / self.members if self.members else 1.0
+
+    @property
+    def predecessor_consistency(self) -> float:
+        return self.consistent_predecessors / self.members if self.members else 1.0
+
+    @property
+    def healthy(self) -> bool:
+        """A converged, failure-resilient ring."""
+        return (
+            self.members == 0
+            or (self.successor_consistency >= 0.95 and self.stale_finger_fraction <= 0.2)
+        )
+
+    def render(self) -> str:
+        return render_table(
+            ["indicator", "value"],
+            [
+                ["live members", self.members],
+                ["successor consistency", f"{self.successor_consistency:.1%}"],
+                ["predecessor consistency", f"{self.predecessor_consistency:.1%}"],
+                ["stale finger entries", f"{self.stale_finger_fraction:.1%}"],
+                ["mean successor-list length", f"{self.mean_successor_list_length:.1f}"],
+            ],
+            title="ring health",
+        )
+
+
+def ring_health(ring: ChordRing) -> RingHealth:
+    """Measure the current structural health of *ring*."""
+    live = ring.active_members()
+    if not live:
+        return RingHealth(0, 0, 0, 0.0, 0.0)
+    ids = [node.node_id for node in live]
+    live_ids = set(ids)
+    consistent_succ = 0
+    consistent_pred = 0
+    stale_fingers = 0
+    total_fingers = 0
+    for index, node in enumerate(live):
+        expected_succ = ids[(index + 1) % len(ids)]
+        if node.successor is not None and node.successor.id == expected_succ:
+            consistent_succ += 1
+        expected_pred = ids[(index - 1) % len(ids)]
+        if node.predecessor is not None and node.predecessor.id == expected_pred:
+            consistent_pred += 1
+        for finger in node.fingers:
+            if finger is None:
+                continue
+            total_fingers += 1
+            if finger.id not in live_ids:
+                stale_fingers += 1
+    return RingHealth(
+        members=len(live),
+        consistent_successors=consistent_succ,
+        consistent_predecessors=consistent_pred,
+        stale_finger_fraction=stale_fingers / total_fingers if total_fingers else 0.0,
+        mean_successor_list_length=sum(len(n.successors) for n in live) / len(live),
+    )
+
+
+def ownership_spans(ring: ChordRing) -> List[int]:
+    """Identifier-space span owned by each live member (sorted by id).
+
+    Chord's load balance comes from these spans being comparable; a member
+    owning a huge span is a hotspot for key placement.
+    """
+    live = ring.active_members()
+    if not live:
+        return []
+    ids = sorted(node.node_id for node in live)
+    size = ring.space.size
+    return [
+        (ids[i] - ids[i - 1]) % size if i else (ids[0] - ids[-1]) % size
+        for i in range(len(ids))
+    ]
+
+
+def max_ownership_imbalance(ring: ChordRing) -> Optional[float]:
+    """Largest span divided by the fair share, or None for empty rings."""
+    spans = ownership_spans(ring)
+    if not spans:
+        return None
+    fair = ring.space.size / len(spans)
+    return max(spans) / fair

@@ -1,0 +1,915 @@
+"""The Chord protocol state machine of one node.
+
+Implements the SIGCOMM 2001 protocol with the robustness refinements every
+deployed Chord uses:
+
+- a **successor list** of r entries instead of a single successor, so the
+  ring survives r-1 simultaneous adjacent failures;
+- **iterative lookups** driven by the querier, with *failure exclusion*: a
+  hop that times out is excluded, its tables-entry purged, and the lookup
+  backtracks to the last responsive node -- this is what keeps routing alive
+  under the paper's "worst scenarios of churn";
+- a single combined **maintenance tick** (stabilize + notify + one finger
+  repair + predecessor check) per period, desynchronized across nodes.
+
+A :class:`ChordNode` is a *component* attached to a host
+:class:`~repro.net.transport.NetworkNode`; hosts forward every message whose
+kind starts with ``"chord."`` to :meth:`ChordNode.on_message`.  This
+composition is what lets a CDN peer carry a Chord node only while it plays
+the directory role (Flower-CDN) or all the time (Squirrel).
+
+Identifiers are *assigned by the caller*: Squirrel hashes the host address,
+while the D-ring assigns structured ids from (website, locality, instance) --
+the paper's "novel key management service".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Set
+
+from repro.errors import DHTError
+from repro.net.message import Message
+from repro.net.transport import NetworkNode
+from repro.sim.process import PeriodicProcess, desynchronized_start
+from repro.types import Address, ChordId
+
+
+class NodeRef(NamedTuple):
+    """A remote node as known locally: (identifier, network address)."""
+
+    id: ChordId
+    address: Address
+
+    def pack(self) -> "tuple":
+        return (self.id, self.address)
+
+    @staticmethod
+    def unpack(raw: Optional[tuple]) -> Optional["NodeRef"]:
+        if raw is None:
+            return None
+        return NodeRef(raw[0], raw[1])
+
+
+class LookupResult(NamedTuple):
+    """Outcome of one iterative lookup.
+
+    Attributes:
+        key: the identifier that was looked up.
+        found: ref of the key's successor, or None when the lookup failed.
+        hops: number of probe RPCs that were answered.
+        timeouts: number of dead hops encountered (each cost a timeout).
+        latency_ms: wall-clock (simulated) time from start to completion,
+            including timeout stalls -- the paper's "lookup latency".
+    """
+
+    key: ChordId
+    found: Optional[NodeRef]
+    hops: int
+    timeouts: int
+    latency_ms: float
+
+    @property
+    def ok(self) -> bool:
+        return self.found is not None
+
+
+LookupCallback = Callable[[LookupResult], None]
+
+
+class ChordNode:
+    """One node's Chord state and behaviour.
+
+    Args:
+        host: the network endpoint this Chord node lives on.
+        ring: the shared overlay (parameters + bootstrap registry).
+        node_id: this node's identifier on the ring.
+
+    The node starts *inactive*: call :meth:`create` (first node of a ring or
+    warm start), or :meth:`join` to enter an existing ring.
+    """
+
+    def __init__(self, host: NetworkNode, ring: "ChordRing", node_id: ChordId) -> None:
+        if not ring.space.contains(node_id):
+            raise DHTError(f"node id {node_id} outside the identifier space")
+        self.host = host
+        self.ring = ring
+        self.space = ring.space
+        self.node_id = node_id
+        self.predecessor: Optional[NodeRef] = None
+        self.successors: List[NodeRef] = []
+        self.fingers: List[Optional[NodeRef]] = [None] * ring.params.bits
+        self.joined = False
+        self._next_finger = 1  # finger 0 is the successor; repaired by stabilize
+        self._maintenance: Optional[PeriodicProcess] = None
+        self._stabilizing = False
+
+    # ---------------------------------------------------------------- basics
+    @property
+    def ref(self) -> NodeRef:
+        return NodeRef(self.node_id, self.host.address)
+
+    @property
+    def is_active(self) -> bool:
+        """Joined and the host is up."""
+        return self.joined and self.host.alive
+
+    @property
+    def successor(self) -> Optional[NodeRef]:
+        return self.successors[0] if self.successors else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChordNode(id={self.node_id}, addr={self.host.address}, "
+            f"joined={self.joined}, succ={self.successor})"
+        )
+
+    # ------------------------------------------------------------- lifecycle
+    def create(self) -> None:
+        """Become the first (and only) node of a new ring."""
+        if self.joined:
+            raise DHTError("node already joined")
+        self.successors = [self.ref]
+        self.predecessor = self.ref
+        self._complete_join()
+
+    def adopt_warm_state(
+        self,
+        successors: List[NodeRef],
+        predecessor: Optional[NodeRef],
+        fingers: List[Optional[NodeRef]],
+    ) -> None:
+        """Install converged state directly (warm start -- see ChordRing)."""
+        if self.joined:
+            raise DHTError("node already joined")
+        self.successors = list(successors)
+        self.predecessor = predecessor
+        self.fingers = list(fingers)
+        self._complete_join(register=False)  # warm_start registers itself
+
+    def join(
+        self,
+        bootstrap: Address,
+        on_joined: Callable[[], None],
+        on_failed: Callable[[str, Optional[NodeRef]], None],
+    ) -> None:
+        """Join the ring through *bootstrap*.
+
+        On success ``on_joined()`` fires once the node is wired in.  On
+        failure ``on_failed(reason, holder)`` fires with reason one of
+        ``"taken"`` (another node already holds this exact identifier --
+        the D-ring replacement race of section 5.2.2; *holder* is that
+        node), ``"lookup"`` (routing failed) or ``"race"`` (a concurrent
+        joiner integrated first).
+        """
+        if self.joined:
+            raise DHTError("node already joined")
+
+        def lookup_done(result: LookupResult) -> None:
+            if not self.host.alive:
+                return
+            if not result.ok:
+                on_failed("lookup", None)
+                return
+            succ = result.found
+            if succ.id == self.node_id and succ.address != self.host.address:
+                on_failed("taken", succ)
+                return
+            self._finish_join(succ, on_joined, on_failed)
+
+        self.lookup(self.node_id, lookup_done, start=bootstrap)
+
+    def _finish_join(
+        self,
+        succ: NodeRef,
+        on_joined: Callable[[], None],
+        on_failed: Callable[[str, Optional[NodeRef]], None],
+    ) -> None:
+        """Adopt *succ*, then notify it; the notify reply settles the race."""
+
+        def state_reply(payload: Dict[str, Any]) -> None:
+            if not payload.get("successors"):
+                on_failed("lookup", None)
+                return
+            succlist = [NodeRef.unpack(raw) for raw in payload["successors"]]
+            self.successors = self._merged_successors(succ, succlist)
+
+            def notify_reply(reply: Dict[str, Any]) -> None:
+                if not reply.get("accepted", False):
+                    self.successors = []
+                    on_failed("race", NodeRef.unpack(reply.get("holder")))
+                    return
+                if not self.ring.try_register(self):
+                    # A same-id candidate integrated through a different
+                    # successor while we were joining: it won (section
+                    # 5.2.2 -- first to integrate succeeds).
+                    self.successors = []
+                    holder = self.ring.holder_of(self.node_id)
+                    on_failed("race", holder.ref if holder is not None else None)
+                    return
+                self._complete_join(register=False)
+                on_joined()
+
+            self.host.rpc(
+                succ.address,
+                "chord.notify",
+                {"candidate": self.ref.pack()},
+                on_reply=notify_reply,
+                on_timeout=lambda: on_failed("lookup", None),
+                timeout_ms=self.ring.params.rpc_timeout_ms,
+            )
+
+        self.host.rpc(
+            succ.address,
+            "chord.get_state",
+            {},
+            on_reply=state_reply,
+            on_timeout=lambda: on_failed("lookup", None),
+            timeout_ms=self.ring.params.rpc_timeout_ms,
+        )
+
+    def _complete_join(self, register: bool = True) -> None:
+        self.joined = True
+        if register:
+            self.ring.register(self)
+        self.start_maintenance()
+        self.host.sim.emit("chord.join", id=self.node_id, addr=self.host.address)
+
+    def start_maintenance(self) -> None:
+        """Start the periodic stabilization tick (idempotent)."""
+        if self._maintenance is not None and self._maintenance.active:
+            return
+        params = self.ring.params
+        rng = self.host.sim.rng("chord.maintenance")
+        self._maintenance = PeriodicProcess(
+            self.host.sim,
+            params.maintenance_period_ms,
+            self._maintenance_tick,
+            initial_delay=desynchronized_start(params.maintenance_period_ms, rng),
+            jitter=params.maintenance_jitter,
+            rng=rng,
+        )
+
+    def shutdown(self) -> None:
+        """Stop participating (crash or leave).  Safe to call repeatedly."""
+        if self._maintenance is not None:
+            self._maintenance.cancel()
+            self._maintenance = None
+        if self.joined:
+            self.ring.deregister(self)
+            self.joined = False
+        self.host.sim.emit("chord.shutdown", id=self.node_id)
+
+    def leave_gracefully(self) -> None:
+        """Voluntary departure: hand neighbours to each other, then go."""
+        pred, succ = self.predecessor, self.successor
+        if pred is not None and succ is not None and pred.id != self.node_id:
+            self.host.send(
+                pred.address, "chord.successor_hint", successor=succ.pack()
+            )
+            self.host.send(
+                succ.address, "chord.predecessor_hint", predecessor=pred.pack()
+            )
+        self.shutdown()
+
+    # ------------------------------------------------------------ local data
+    def closest_preceding(self, key: ChordId, exclude: Set[ChordId]) -> Optional[NodeRef]:
+        """Best locally known node strictly between self and *key*.
+
+        Scans the finger table from the top, then the successor list, per
+        the Chord paper; nodes in *exclude* (known dead) are skipped.
+        """
+        best: Optional[NodeRef] = None
+        best_distance = self.space.size
+        for finger in reversed(self.fingers):
+            if finger is None or finger.id in exclude or finger.id == self.node_id:
+                continue
+            if self.space.in_open(finger.id, self.node_id, key):
+                return finger
+        for candidate in self.successors:
+            if candidate.id in exclude or candidate.id == self.node_id:
+                continue
+            if self.space.in_open(candidate.id, self.node_id, key):
+                distance = self.space.distance(candidate.id, key)
+                if distance < best_distance:
+                    best, best_distance = candidate, distance
+        return best
+
+    def note_failed(self, node_id: ChordId) -> None:
+        """Purge a node observed dead from every local table."""
+        self.successors = [s for s in self.successors if s.id != node_id]
+        self.fingers = [
+            None if f is not None and f.id == node_id else f for f in self.fingers
+        ]
+        if self.predecessor is not None and self.predecessor.id == node_id:
+            self.predecessor = None
+
+    def _merged_successors(self, head: NodeRef, rest: List[Optional[NodeRef]]) -> List[NodeRef]:
+        """Successor list = head + its list, deduplicated, truncated to r."""
+        merged: List[NodeRef] = [head]
+        seen = {head.id, self.node_id}
+        for ref in rest:
+            if ref is None or ref.id in seen:
+                continue
+            merged.append(ref)
+            seen.add(ref.id)
+            if len(merged) >= self.ring.params.successor_list_size:
+                break
+        return merged
+
+    # ------------------------------------------------------------- lookups
+    def lookup(
+        self,
+        key: ChordId,
+        on_done: LookupCallback,
+        start: Optional[Address] = None,
+    ) -> None:
+        """Find the successor of *key* (mode per ``ring.params.lookup_mode``).
+
+        Args:
+            key: identifier to resolve.
+            on_done: receives a :class:`LookupResult` (check ``.ok``).
+            start: route through this address first instead of using local
+                tables -- how non-members (new clients bootstrapping into
+                Flower-CDN) route over a ring they do not belong to.
+        """
+        if start is None and not self.joined:
+            raise DHTError("lookup from a non-member requires a start address")
+        if self.ring.params.lookup_mode == "recursive":
+            _RecursiveLookup(self, key, on_done, start).begin()
+        else:
+            _Lookup(self, key, on_done, start).begin()
+
+    # ------------------------------------------------------------- handlers
+    def on_message(self, message: Message) -> Optional[Dict[str, Any]]:
+        """Dispatch ``chord.*`` message kinds to handler methods."""
+        handler = getattr(self, "handle_" + message.kind.replace(".", "_"), None)
+        if handler is None:
+            raise DHTError(f"unknown chord message kind {message.kind!r}")
+        return handler(message)
+
+    def handle_chord_probe(self, message: Message) -> Dict[str, Any]:
+        """One step of an iterative lookup (see :class:`_Lookup`)."""
+        if not self.joined:
+            return {"status": "not_ready"}
+        key: ChordId = message.payload["key"]
+        exclude: Set[ChordId] = set(message.payload.get("exclude", ()))
+        succ = next((s for s in self.successors if s.id not in exclude), None)
+        if succ is None:
+            return {"status": "not_ready"}
+        if self.space.in_half_open_right(key, self.node_id, succ.id):
+            return {"status": "done", "result": succ.pack()}
+        nxt = self.closest_preceding(key, exclude)
+        if nxt is None:
+            # Nothing better than our successor: hand the lookup to it.
+            return {"status": "next", "next": succ.pack()}
+        return {"status": "next", "next": nxt.pack()}
+
+    def handle_chord_get_state(self, message: Message) -> Dict[str, Any]:
+        """Stabilization read: our predecessor and successor list."""
+        return {
+            "id": self.node_id,
+            "predecessor": self.predecessor.pack() if self.predecessor else None,
+            "successors": [s.pack() for s in self.successors],
+        }
+
+    def handle_chord_notify(self, message: Message) -> Dict[str, Any]:
+        """A node believes it is our predecessor (join or stabilize)."""
+        candidate = NodeRef.unpack(message.payload["candidate"])
+        if candidate is None or not self.joined:
+            return {"accepted": False, "holder": None}
+        pred = self.predecessor
+        if pred is not None and candidate.id == pred.id and candidate.address != pred.address:
+            # Identifier collision: the position is already held (the
+            # paper's D-ring join race, section 5.2.2).
+            return {"accepted": False, "holder": pred.pack()}
+        if (
+            pred is None
+            or pred.id == self.node_id
+            or self.space.in_open(candidate.id, pred.id, self.node_id)
+            or candidate.id == pred.id  # refresh from the same node
+        ):
+            self.predecessor = candidate
+            return {"accepted": True}
+        return {"accepted": False, "holder": pred.pack()}
+
+    def handle_chord_ping(self, message: Message) -> Dict[str, Any]:
+        """Liveness probe (predecessor check)."""
+        return {"id": self.node_id, "joined": self.joined}
+
+    def handle_chord_successor_hint(self, message: Message) -> None:
+        """A gracefully leaving successor points us past itself."""
+        hint = NodeRef.unpack(message.payload["successor"])
+        if hint is not None and self.joined and hint.id != self.node_id:
+            leaving = self.successor
+            if leaving is not None:
+                self.note_failed(leaving.id)
+            self.successors = self._merged_successors(hint, self.successors)
+        return None
+
+    def handle_chord_predecessor_hint(self, message: Message) -> None:
+        """A gracefully leaving predecessor points us past itself."""
+        hint = NodeRef.unpack(message.payload["predecessor"])
+        if hint is None or not self.joined or hint.id == self.node_id:
+            return None
+        pred = self.predecessor
+        if (
+            pred is None
+            or pred.address == message.src  # sender is our leaving predecessor
+            or self.space.in_open(hint.id, pred.id, self.node_id)
+        ):
+            self.predecessor = hint
+        return None
+
+    # ---------------------------------------------------------- maintenance
+    def _maintenance_tick(self) -> None:
+        if not self.is_active:
+            return
+        self._stabilize()
+        self._fix_one_finger()
+        self._check_predecessor()
+
+    def _stabilize(self, attempt: int = 0) -> None:
+        """Classic stabilize: learn successor's predecessor, then notify."""
+        if self._stabilizing and attempt == 0:
+            return  # previous round still in flight
+        succ = self.successor
+        if succ is None:
+            self.successors = [self.ref]
+            self._stabilizing = False
+            return
+        if succ.id == self.node_id:
+            # We point at ourselves.  If someone has notified us (we have a
+            # real predecessor), adopt it as successor -- this is how the
+            # second node of a ring gets linked in classic Chord.
+            self._stabilizing = False
+            pred = self.predecessor
+            if pred is not None and pred.id != self.node_id:
+                self.successors = self._merged_successors(pred, [])
+                self.fingers[0] = self.successor
+                self.host.send(pred.address, "chord.notify", candidate=self.ref.pack())
+            return
+        self._stabilizing = True
+
+        def on_state(payload: Dict[str, Any]) -> None:
+            self._stabilizing = False
+            if not self.is_active:
+                return
+            if not payload.get("successors"):
+                # The host answered but is no longer a ring member (it
+                # crashed and came back as a plain peer): drop it like a
+                # failure, else the ring would never route around it.
+                on_timeout()
+                return
+            pred = NodeRef.unpack(payload.get("predecessor"))
+            succlist = [NodeRef.unpack(raw) for raw in payload.get("successors", [])]
+            new_succ = succ
+            if (
+                pred is not None
+                and pred.id != self.node_id
+                and self.space.in_open(pred.id, self.node_id, succ.id)
+            ):
+                new_succ = pred  # a closer successor has appeared
+            self.successors = self._merged_successors(
+                new_succ, [succ] + succlist if new_succ != succ else succlist
+            )
+            self.fingers[0] = self.successor
+            self.host.send(
+                self.successor.address, "chord.notify", candidate=self.ref.pack()
+            )
+
+        def on_timeout() -> None:
+            self._stabilizing = False
+            if not self.is_active:
+                return
+            self.note_failed(succ.id)
+            self.host.sim.emit("chord.successor_failed", id=self.node_id, dead=succ.id)
+            if attempt < self.ring.params.successor_list_size:
+                self._stabilize(attempt + 1)  # fall through to the next one
+            elif not self.successors:
+                self.successors = [self.ref]  # last resort: re-anchor later
+
+        self.host.rpc(
+            succ.address,
+            "chord.get_state",
+            {},
+            on_reply=on_state,
+            on_timeout=on_timeout,
+            timeout_ms=self.ring.params.rpc_timeout_ms,
+        )
+
+    def _fix_one_finger(self) -> None:
+        """Repair fingers round-robin: one *lookup* per tick.
+
+        Fingers whose start falls within (self, successor] equal the
+        successor and are repaired for free while scanning, so the lookup
+        budget is spent only on the ~log2(N) genuinely distinct fingers --
+        without this, a 32-bit table would take 31 ticks per full repair
+        cycle and rot badly under churn.
+        """
+        if not self.joined:
+            return
+        for __ in range(self.ring.params.bits - 1):
+            index = self._next_finger
+            self._next_finger += 1
+            if self._next_finger >= self.ring.params.bits:
+                self._next_finger = 1
+            key = self.space.finger_start(self.node_id, index)
+            succ = self.successor
+            if succ is not None and self.space.in_half_open_right(
+                key, self.node_id, succ.id
+            ):
+                self.fingers[index] = succ
+                continue
+
+            def done(result: LookupResult, index: int = index) -> None:
+                if result.ok and self.is_active:
+                    self.fingers[index] = result.found
+
+            self.lookup(key, done)
+            return
+
+    def _check_predecessor(self) -> None:
+        pred = self.predecessor
+        if pred is None or pred.id == self.node_id:
+            return
+
+        def on_timeout() -> None:
+            if self.predecessor is not None and self.predecessor.id == pred.id:
+                self.predecessor = None
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if not payload.get("joined"):
+                on_timeout()  # answers, but no longer a ring member
+
+        self.host.rpc(
+            pred.address,
+            "chord.ping",
+            {},
+            on_reply=on_reply,
+            on_timeout=on_timeout,
+            timeout_ms=self.ring.params.rpc_timeout_ms,
+        )
+
+
+
+class _Lookup:
+    """State of one in-flight iterative lookup (failure-excluding)."""
+
+    def __init__(
+        self,
+        node: ChordNode,
+        key: ChordId,
+        on_done: LookupCallback,
+        start: Optional[Address],
+    ) -> None:
+        self.node = node
+        self.key = key
+        self.on_done = on_done
+        self.start_address = start
+        self.started_at = node.host.sim.now
+        self.hops = 0
+        self.timeouts = 0
+        self.exclude: Set[ChordId] = set()
+        self.visited: Set[Address] = set()
+        self.backtrack: List[Address] = []  # responsive nodes, nearest last
+        self._id_of: Dict[Address, ChordId] = {}  # ids learnt mid-lookup
+
+    def begin(self) -> None:
+        if self.start_address is not None:
+            self._probe(self.start_address)
+            return
+        node = self.node
+        succ = node.successor
+        if succ is None:
+            self._finish(None)
+            return
+        if node.space.in_half_open_right(self.key, node.node_id, succ.id):
+            self._finish(succ)
+            return
+        nxt = node.closest_preceding(self.key, self.exclude)
+        target = nxt or succ
+        self._probe(target.address, target.id)
+
+    # ------------------------------------------------------------ internals
+    def _finish(self, found: Optional[NodeRef]) -> None:
+        sim = self.node.host.sim
+        result = LookupResult(
+            key=self.key,
+            found=found,
+            hops=self.hops,
+            timeouts=self.timeouts,
+            latency_ms=sim.now - self.started_at,
+        )
+        sim.emit(
+            "chord.lookup",
+            ok=result.ok,
+            hops=result.hops,
+            timeouts=result.timeouts,
+            latency_ms=result.latency_ms,
+        )
+        self.on_done(result)
+
+    def _probe(self, address: Address, node_id: Optional[ChordId] = None) -> None:
+        if self.hops + self.timeouts >= self.node.ring.params.lookup_max_probes:
+            self._finish(None)
+            return
+        if node_id is not None:
+            self._id_of[address] = node_id
+        self.visited.add(address)
+        self.node.host.rpc(
+            address,
+            "chord.probe",
+            {"key": self.key, "exclude": list(self.exclude)[-16:]},
+            on_reply=lambda payload: self._on_reply(address, payload),
+            on_timeout=lambda: self._on_timeout(address),
+            timeout_ms=self.node.ring.params.rpc_timeout_ms,
+        )
+
+    def _on_reply(self, address: Address, payload: Dict[str, Any]) -> None:
+        if not self.node.host.alive:
+            return
+        self.hops += 1
+        status = payload.get("status")
+        if status == "done":
+            self._finish(NodeRef.unpack(payload["result"]))
+            return
+        if status == "next":
+            self.backtrack.append(address)
+            nxt = NodeRef.unpack(payload["next"])
+            if nxt is None or nxt.address in self.visited:
+                # No progress possible through this node: exclude the
+                # suggestion and backtrack.
+                if nxt is not None:
+                    self.exclude.add(nxt.id)
+                self._backtrack()
+                return
+            self._probe(nxt.address, nxt.id)
+            return
+        # "not_ready" (node mid-join): treat like a dead hop.
+        self._on_timeout(address, answered=True)
+
+    def _on_timeout(self, address: Address, answered: bool = False) -> None:
+        if not self.node.host.alive:
+            return
+        if not answered:
+            self.timeouts += 1
+            if self.timeouts > self.node.ring.params.lookup_max_timeouts:
+                self._finish(None)
+                return
+        # Blame the unresponsive node and purge it from our own tables.
+        dead_ids = {ref.id for ref in self._refs_for(address)}
+        learnt = self._id_of.get(address)
+        if learnt is not None:
+            dead_ids.add(learnt)
+        for dead in dead_ids:
+            self.exclude.add(dead)
+            self.node.note_failed(dead)
+        self._backtrack()
+
+    def _refs_for(self, address: Address) -> List[NodeRef]:
+        """Every local table entry pointing at *address*."""
+        node = self.node
+        refs = [s for s in node.successors if s.address == address]
+        refs += [f for f in node.fingers if f is not None and f.address == address]
+        if node.predecessor is not None and node.predecessor.address == address:
+            refs.append(node.predecessor)
+        return refs
+
+    def _backtrack(self) -> None:
+        if self.backtrack:
+            # Re-ask the last responsive node; with the updated exclusion
+            # set it will suggest a different next hop.  The probe budget
+            # bounds any ping-pong.
+            self._probe(self.backtrack.pop())
+            return
+        # Restart from our own tables with the exclusions learnt so far.
+        node = self.node
+        if not node.joined:
+            self._finish(None)
+            return
+        succ = next((s for s in node.successors if s.id not in self.exclude), None)
+        if succ is not None and node.space.in_half_open_right(
+            self.key, node.node_id, succ.id
+        ):
+            self._finish(succ)
+            return
+        nxt = node.closest_preceding(self.key, self.exclude)
+        candidate = nxt or succ
+        if candidate is None or candidate.address in self.visited:
+            self._finish(None)
+            return
+        self._probe(candidate.address, candidate.id)
+
+
+# ---------------------------------------------------------------------------
+# Recursive routing (the default lookup mode)
+# ---------------------------------------------------------------------------
+#
+# The query travels hop by hop as one-way ``chord.route`` messages -- one
+# link latency per hop, the way PeerSim-style Chord simulations route -- and
+# the node owning the key sends a ``chord.route_result`` straight back to
+# the origin.  A message that lands on a dead hop is simply lost; the origin
+# retries the whole route after ``recursive_timeout_ms`` and gives up after
+# ``recursive_retries`` attempts.
+#
+# Hosts keep one pending-callback table for all their Chord activity (a
+# host may run several logical nodes over its lifetime -- e.g. a Flower
+# peer doing a bootstrap scan with a transient node); the helpers below own
+# that table so host classes stay trivial.
+
+def deliver_route_result(host: NetworkNode, message: Message) -> None:
+    """Host-side dispatch of ``chord.route_result`` (see module comment)."""
+    pending = getattr(host, "_chord_pending_lookups", None)
+    if not pending:
+        return None
+    callback = pending.pop(message.payload.get("nonce"), None)
+    if callback is not None:
+        callback(message.payload)
+    return None
+
+
+def route_step(node: Optional["ChordNode"], host: NetworkNode, message: Message) -> Dict[str, Any]:
+    """Host-side dispatch of ``chord.route``: acknowledge, then answer the
+    origin or forward one hop closer.
+
+    The ack tells the previous hop the message is in good hands; a previous
+    hop that gets no ack (we crashed) or ``{"ok": False}`` (we are not a
+    ring member any more) reroutes around us -- per-hop reliability, the
+    way deployed recursive DHTs forward.
+    """
+    if node is None or not node.joined or not host.alive:
+        return {"ok": False}
+    payload = message.payload
+    key: ChordId = payload["key"]
+    hops: int = payload["hops"]
+    if hops >= node.ring.params.lookup_max_probes:
+        return {"ok": True}  # loop guard: swallow silently
+    succ = node.successor
+    if succ is None:
+        return {"ok": False}
+    if node.space.in_half_open_right(key, node.node_id, succ.id):
+        host.send(
+            payload["origin"],
+            "chord.route_result",
+            nonce=payload["nonce"],
+            result=succ.pack(),
+            hops=hops,
+        )
+        return {"ok": True}
+    forward_route(node, host, dict(payload, hops=hops + 1))
+    return {"ok": True}
+
+
+def forward_route(
+    node: "ChordNode",
+    host: NetworkNode,
+    payload: Dict[str, Any],
+    attempts: int = 3,
+) -> None:
+    """Send the route one hop closer, rerouting around dead next hops.
+
+    Each failed handoff purges the dead entry from our tables
+    (:meth:`ChordNode.note_failed` -- reactive repair) and tries the next
+    best candidate, up to *attempts* times; after that the route is dropped
+    and the origin's end-to-end retry takes over.
+    """
+    if attempts <= 0 or not host.alive or not node.joined:
+        return
+    key: ChordId = payload["key"]
+    nxt = node.closest_preceding(key, _EMPTY_EXCLUDE)
+    if nxt is None:
+        nxt = node.successor
+    if nxt is None or nxt.id == node.node_id:
+        return
+
+    def on_ack(reply: Dict[str, Any]) -> None:
+        if not reply.get("ok"):
+            node.note_failed(nxt.id)
+            forward_route(node, host, payload, attempts - 1)
+
+    def on_timeout() -> None:
+        node.note_failed(nxt.id)
+        host.sim.emit("chord.route_reroute", at=node.node_id, dead=nxt.id)
+        forward_route(node, host, payload, attempts - 1)
+
+    host.rpc(
+        nxt.address,
+        "chord.route",
+        payload,
+        on_reply=on_ack,
+        on_timeout=on_timeout,
+        timeout_ms=node.ring.params.rpc_timeout_ms,
+    )
+
+
+_EMPTY_EXCLUDE: Set[ChordId] = frozenset()
+
+
+class _RecursiveLookup:
+    """State of one in-flight recursive lookup (origin side)."""
+
+    def __init__(
+        self,
+        node: ChordNode,
+        key: ChordId,
+        on_done: LookupCallback,
+        start: Optional[Address],
+    ) -> None:
+        self.node = node
+        self.key = key
+        self.on_done = on_done
+        self.start_address = start
+        self.started_at = node.host.sim.now
+        self.attempts = 0
+        self.done = False
+        self.nonce: Optional[tuple] = None
+
+    # ------------------------------------------------------------ plumbing
+    def _pending_table(self) -> Dict:
+        host = self.node.host
+        table = getattr(host, "_chord_pending_lookups", None)
+        if table is None:
+            table = {}
+            host._chord_pending_lookups = table
+        return table
+
+    def _next_nonce(self) -> tuple:
+        host = self.node.host
+        sequence = getattr(host, "_chord_nonce_seq", 0) + 1
+        host._chord_nonce_seq = sequence
+        return (host.address, sequence)
+
+    # -------------------------------------------------------------- driving
+    def begin(self) -> None:
+        self.attempts += 1
+        node, host = self.node, self.node.host
+        self.nonce = self._next_nonce()
+        self._pending_table()[self.nonce] = self._on_result
+        host.sim.schedule(
+            node.ring.params.recursive_timeout_ms, self._on_attempt_timeout, self.nonce
+        )
+        payload = {
+            "key": self.key,
+            "origin": host.address,
+            "nonce": self.nonce,
+            "hops": 1,
+        }
+        if self.start_address is not None and not node.joined:
+            # Non-members hand the route to their bootstrap; no alternative
+            # first hop exists, so a dead bootstrap surfaces as an attempt
+            # timeout and, eventually, a failed lookup.
+            host.rpc(
+                self.start_address,
+                "chord.route",
+                payload,
+                on_reply=lambda reply: None,
+                on_timeout=lambda: None,
+            )
+            return
+        # First step runs locally: we are a ring member.
+        succ = node.successor
+        if succ is None:
+            self._finish(None, 0)
+            return
+        if node.space.in_half_open_right(self.key, node.node_id, succ.id):
+            self._finish(succ, 0)
+            return
+        forward_route(node, host, payload)
+
+    def _on_result(self, payload: Dict[str, Any]) -> None:
+        if self.done or not self.node.host.alive:
+            return
+        self._finish(NodeRef.unpack(payload.get("result")), payload.get("hops", 0))
+
+    def _on_attempt_timeout(self, nonce: tuple) -> None:
+        if self.done or nonce != self.nonce:
+            return
+        self._pending_table().pop(nonce, None)
+        if not self.node.host.alive:
+            self.done = True
+            return
+        if self.attempts > self.node.ring.params.recursive_retries:
+            self._finish(None, 0, timeouts=self.attempts)
+            return
+        self.begin()
+
+    def _finish(self, found: Optional[NodeRef], hops: int, timeouts: Optional[int] = None) -> None:
+        self.done = True
+        if self.nonce is not None:
+            self._pending_table().pop(self.nonce, None)
+        sim = self.node.host.sim
+        result = LookupResult(
+            key=self.key,
+            found=found,
+            hops=hops,
+            timeouts=self.attempts - 1 if timeouts is None else timeouts,
+            latency_ms=sim.now - self.started_at,
+        )
+        sim.emit(
+            "chord.lookup",
+            ok=result.ok,
+            hops=result.hops,
+            timeouts=result.timeouts,
+            latency_ms=result.latency_ms,
+        )
+        self.on_done(result)

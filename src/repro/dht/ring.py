@@ -1,0 +1,174 @@
+"""Ring-wide Chord configuration, bootstrap service, and warm start.
+
+:class:`ChordRing` is the per-overlay singleton that nodes share.  It plays
+three roles:
+
+1. **Parameters** -- identifier space and protocol knobs (:class:`RingParams`).
+2. **Bootstrap service** -- a registry of currently joined members, standing
+   in for the out-of-band mechanism every deployed DHT relies on (well-known
+   hosts, a website handing out member addresses, ...).  Only *bootstrap
+   discovery* uses it; routing always goes through the Chord protocol.
+3. **Warm start** -- building a fully stabilized ring instantly.  The paper's
+   experiments begin from a formed D-ring of 600 directory peers
+   (section 6.1); simulating 600 sequential joins would only add noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import DHTError
+from repro.dht.idspace import IdSpace
+from repro.sim.clock import seconds
+from repro.types import Address, ChordId
+
+
+@dataclass(frozen=True)
+class RingParams:
+    """Protocol knobs shared by every node of one Chord overlay.
+
+    Attributes:
+        bits: identifier-space width m (ring size 2**m).
+        successor_list_size: r successors kept for failure resilience;
+            the ring survives any r-1 simultaneous adjacent failures.
+        maintenance_period_ms: period of the combined stabilization tick
+            (stabilize + notify + one finger repair + predecessor check).
+        maintenance_jitter: relative jitter applied to the period so nodes
+            do not tick in lock-step.
+        lookup_max_probes: hard cap on probes per lookup (loop guard).
+        lookup_max_timeouts: give up after this many dead hops in one lookup.
+        rpc_timeout_ms: failure-detection timeout for Chord RPCs; must
+            exceed the worst round trip.
+        lookup_mode: ``"recursive"`` (default -- the query is forwarded
+            hop by hop, one one-way link latency per hop, as PeerSim-style
+            Chord simulations route) or ``"iterative"`` (the querier probes
+            each hop itself with per-hop failure detection -- twice the
+            latency, but robust to in-route failures without retries).
+        recursive_timeout_ms: end-to-end retry timeout of one recursive
+            routing attempt (a forwarded message that hits a dead hop is
+            simply lost; the origin retries after this long).
+        recursive_retries: recursive routing attempts before giving up.
+    """
+
+    bits: int = 32
+    successor_list_size: int = 8
+    maintenance_period_ms: float = seconds(30)
+    maintenance_jitter: float = 0.1
+    lookup_max_probes: int = 64
+    lookup_max_timeouts: int = 8
+    rpc_timeout_ms: float = 1200.0
+    lookup_mode: str = "recursive"
+    recursive_timeout_ms: float = 4000.0
+    recursive_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.successor_list_size < 1:
+            raise DHTError("successor_list_size must be >= 1")
+        if self.lookup_max_probes < 1 or self.lookup_max_timeouts < 0:
+            raise DHTError("invalid lookup limits")
+        if self.lookup_mode not in ("recursive", "iterative"):
+            raise DHTError(f"unknown lookup mode {self.lookup_mode!r}")
+
+
+class ChordRing:
+    """Shared state of one Chord overlay (see module docstring)."""
+
+    def __init__(self, params: Optional[RingParams] = None) -> None:
+        self.params = params or RingParams()
+        self.space = IdSpace(self.params.bits)
+        self._members: Dict[ChordId, "ChordNode"] = {}
+
+    # ------------------------------------------------------------ membership
+    def register(self, node: "ChordNode") -> None:
+        """Record *node* as a joined, routable member (bootstrap registry)."""
+        current = self._members.get(node.node_id)
+        if current is not None and current is not node and current.is_active:
+            raise DHTError(
+                f"id {node.node_id} already registered by an active node"
+            )
+        self._members[node.node_id] = node
+
+    def try_register(self, node: "ChordNode") -> bool:
+        """Register if the identifier is free (or its holder is dead).
+
+        Join races where two candidates for the same identifier slip past
+        each other's notify checks (their lookups saw different ring states)
+        are settled here: "the one that first integrates into D-ring,
+        succeeds" (section 5.2.2).
+        """
+        current = self._members.get(node.node_id)
+        if current is not None and current is not node and current.is_active:
+            return False
+        self._members[node.node_id] = node
+        return True
+
+    def holder_of(self, node_id: ChordId) -> Optional["ChordNode"]:
+        """The registered member at *node_id*, if any."""
+        return self._members.get(node_id)
+
+    def deregister(self, node: "ChordNode") -> None:
+        """Remove *node* from the bootstrap registry (on failure or leave)."""
+        if self._members.get(node.node_id) is node:
+            del self._members[node.node_id]
+
+    def members(self) -> List["ChordNode"]:
+        """Currently registered members, sorted by identifier."""
+        return [self._members[i] for i in sorted(self._members)]
+
+    def active_members(self) -> List["ChordNode"]:
+        """Registered members whose host is currently alive."""
+        return [n for n in self.members() if n.is_active]
+
+    def random_bootstrap(self, rng: random.Random) -> Optional[Address]:
+        """Address of a random live member, or None if the ring is empty."""
+        active = self.active_members()
+        if not active:
+            return None
+        return rng.choice(active).host.address
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # ------------------------------------------------------------ warm start
+    def warm_start(self, nodes: Iterable["ChordNode"]) -> None:
+        """Wire *nodes* into a fully stabilized ring instantly.
+
+        Successor lists, predecessors and complete finger tables are computed
+        directly from the sorted identifier list, exactly as stabilization
+        would converge to.  Every node is registered as a member.
+        """
+        ordered = sorted(nodes, key=lambda n: n.node_id)
+        if not ordered:
+            return
+        ids = [n.node_id for n in ordered]
+        if len(set(ids)) != len(ids):
+            raise DHTError("duplicate identifiers in warm start")
+        n = len(ordered)
+        r = self.params.successor_list_size
+        for index, node in enumerate(ordered):
+            successors = [ordered[(index + k) % n].ref for k in range(1, min(r, n) + 1)]
+            if not successors:
+                successors = [node.ref]
+            node.adopt_warm_state(
+                successors=successors,
+                predecessor=ordered[(index - 1) % n].ref,
+                fingers=[
+                    self._successor_of(ids, ordered, self.space.finger_start(node.node_id, i))
+                    for i in range(self.params.bits)
+                ],
+            )
+            self.register(node)
+
+    def _successor_of(self, ids: List[ChordId], ordered: List["ChordNode"], key: ChordId):
+        """First node whose id >= key (cyclically) -- warm-start helper."""
+        import bisect
+
+        index = bisect.bisect_left(ids, key)
+        return ordered[index % len(ordered)].ref
+
+
+# Imported at the bottom to break the node <-> ring reference cycle for type
+# checkers; at runtime only the name is needed in annotations (strings).
+from repro.dht.node import ChordNode  # noqa: E402  (cycle-breaking import)

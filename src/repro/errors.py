@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised by library code derives from :class:`ReproError`, so
+callers can catch the whole family with one clause while tests can assert on
+precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library exceptions."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event engine (scheduling into the past, ...)."""
+
+
+class TopologyError(ReproError):
+    """Invalid network-topology construction or queries on unknown nodes."""
+
+
+class TransportError(ReproError):
+    """Message-layer misuse (sending from a dead node, unknown address, ...)."""
+
+
+class DHTError(ReproError):
+    """Chord-layer protocol errors (joining twice, lookup from a dead node)."""
+
+
+class CDNError(ReproError):
+    """Errors in the CDN protocol layers (Flower, PetalUp, Squirrel)."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment configuration."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload or catalog parameters."""

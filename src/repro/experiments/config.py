@@ -1,0 +1,166 @@
+"""Experiment configuration: the paper's Table 1, parameter for parameter.
+
+===========================  =======================  =====================
+Paper parameter (Table 1)    Field                    Paper value
+===========================  =======================  =====================
+Latency (ms)                 latency_min_ms/max_ms    10-500
+Nb of localities (k)         num_localities           6
+Nb of websites (|W|)         num_websites             100
+Mean population size (P)     population               2000/3000/4000/5000
+Total network size           peer_pool_factor         P x 1.3
+Mean uptime of a peer (m)    mean_uptime_min          60 min
+Nb of objects/website        objects_per_website      500
+Query rate at a peer         query_interval_min       1 query / 6 min
+Push threshold               push_threshold           0.5
+Gossip/keepalive period      gossip_period_min        1 hour
+(active websites)            num_active_websites      6
+(experiment length)          duration_hours           24 h
+===========================  =======================  =====================
+
+:meth:`ExperimentConfig.paper` returns the full-scale configuration;
+:meth:`ExperimentConfig.scaled` returns a proportionally reduced one that
+exercises identical code paths in seconds (used by tests and the default
+benchmark runs; ``REPRO_SCALE=full`` switches the benches to paper scale).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cdn.base import ProtocolParams
+from repro.dht.ring import RingParams
+from repro.errors import ConfigError
+from repro.sim.clock import minutes, seconds
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that defines one simulation run (see module docstring).
+
+    Implementation knobs beyond Table 1:
+
+    Attributes:
+        chord_bits: identifier-space width of every Chord ring.
+        chord_successor_list: successor-list length r.
+        chord_maintenance_s: period of the combined stabilization tick.
+        topology: ``"clustered"`` (the default, locality structure present)
+            or ``"uniform"`` (no structure -- the locality ablation).
+        summary_kind: ``"exact"`` or ``"bloom"`` content summaries.
+        directory_load_limit / max_instances: PetalUp-CDN's split knobs
+            (None / 1 = plain Flower-CDN).
+        directory_collaboration: same-website directory collaboration.
+    """
+
+    population: int = 3000
+    peer_pool_factor: float = 1.3
+    mean_uptime_min: float = 60.0
+    duration_hours: float = 24.0
+    num_websites: int = 100
+    objects_per_website: int = 500
+    num_active_websites: int = 6
+    num_localities: int = 6
+    latency_min_ms: float = 10.0
+    latency_max_ms: float = 500.0
+    query_interval_min: float = 6.0
+    gossip_period_min: float = 60.0
+    push_threshold: float = 0.5
+    zipf_exponent: float = 0.8
+    chord_bits: int = 32
+    chord_successor_list: int = 8
+    chord_maintenance_s: float = 120.0
+    topology: str = "clustered"
+    summary_kind: str = "exact"
+    directory_load_limit: Optional[int] = None
+    max_instances: int = 1
+    directory_collaboration: bool = False
+    peer_cache_capacity: Optional[int] = None
+    message_loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ConfigError("population must be positive")
+        if not 0.0 <= self.message_loss_rate < 1.0:
+            raise ConfigError("message_loss_rate must be in [0, 1)")
+        if self.peer_pool_factor < 1.0:
+            raise ConfigError("peer_pool_factor must be >= 1 (pool >= population)")
+        if self.duration_hours <= 0 or self.mean_uptime_min <= 0:
+            raise ConfigError("durations must be positive")
+        if self.topology not in ("clustered", "uniform"):
+            raise ConfigError(f"unknown topology {self.topology!r}")
+        if self.num_active_websites > self.num_websites:
+            raise ConfigError("more active websites than websites")
+        seeds = self.num_websites * self.num_localities
+        if seeds > self.num_identities:
+            raise ConfigError(
+                f"identity pool ({self.num_identities}) smaller than the "
+                f"initial directory population ({seeds}); raise population "
+                f"or shrink num_websites x num_localities"
+            )
+
+    # ------------------------------------------------------------- derived
+    @property
+    def num_identities(self) -> int:
+        """Total network size: the identity pool (paper: P x 1.3)."""
+        return int(round(self.population * self.peer_pool_factor))
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_hours * 3_600_000.0
+
+    def protocol_params(self) -> ProtocolParams:
+        """The CDN-layer parameter object derived from this config."""
+        return ProtocolParams(
+            query_interval_ms=minutes(self.query_interval_min),
+            gossip_period_ms=minutes(self.gossip_period_min),
+            keepalive_period_ms=minutes(self.gossip_period_min),
+            push_threshold=self.push_threshold,
+            zipf_exponent=self.zipf_exponent,
+            summary_kind=self.summary_kind,
+            directory_load_limit=self.directory_load_limit,
+            max_instances=self.max_instances,
+            directory_collaboration=self.directory_collaboration,
+            cache_capacity=self.peer_cache_capacity,
+            dring=RingParams(
+                bits=self.chord_bits,
+                successor_list_size=self.chord_successor_list,
+                maintenance_period_ms=seconds(self.chord_maintenance_s),
+                rpc_timeout_ms=2.4 * self.latency_max_ms,
+            ),
+        )
+
+    # ------------------------------------------------------------ presets
+    @classmethod
+    def paper(cls, population: int = 3000, **overrides) -> "ExperimentConfig":
+        """The paper's full Table 1 setup at the given population."""
+        return cls(population=population, **overrides)
+
+    @classmethod
+    def scaled(
+        cls,
+        population: int = 240,
+        duration_hours: float = 6.0,
+        **overrides,
+    ) -> "ExperimentConfig":
+        """A reduced-scale setup exercising the same code paths.
+
+        Websites, localities and catalog shrink proportionally so petal
+        dynamics (peers per petal, directory load) stay comparable; protocol
+        periods are untouched.
+        """
+        defaults = dict(
+            population=population,
+            duration_hours=duration_hours,
+            num_websites=12,
+            num_active_websites=3,
+            num_localities=3,
+            objects_per_website=100,
+            chord_maintenance_s=60.0,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def replace(self, **overrides) -> "ExperimentConfig":
+        """A copy with some fields overridden."""
+        return dataclasses.replace(self, **overrides)

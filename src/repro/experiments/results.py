@@ -1,0 +1,139 @@
+"""Result records of one experiment run.
+
+:class:`ExperimentResult` is a plain, JSON-serializable summary: the three
+paper metrics, the outcome breakdown, the hit-ratio-over-time curve
+(Fig. 3) and the latency / distance distributions (Figs. 4 and 5).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.distribution import Distribution
+from repro.metrics.timeseries import RatioSeries
+from repro.sim.clock import HOUR
+
+
+@dataclass
+class ExperimentResult:
+    """Summary of one run.
+
+    Attributes:
+        protocol: "flower", "petalup" or "squirrel".
+        seed: master RNG seed of the run.
+        population: the configured mean population P.
+        duration_hours: simulated horizon.
+        queries: total queries issued.
+        hit_ratio: fraction served from the P2P system (paper metric 1).
+        mean_lookup_latency_ms: paper metric 2 (mean over all queries).
+        mean_transfer_ms: paper metric 3 (mean over all queries).
+        outcome_counts: queries per outcome kind.
+        hit_ratio_curve: (hour, cumulative hit ratio) points (Figure 3).
+        lookup_cdf / transfer_cdf: (ms, cumulative fraction) points
+            (Figures 4 and 5).
+        events_executed / messages_sent: simulator effort accounting.
+        arrivals / departures: churn volume.
+        extra: protocol-specific counters (directory count, ring size, ...).
+    """
+
+    protocol: str
+    seed: int
+    population: int
+    duration_hours: float
+    queries: int
+    hit_ratio: float
+    mean_lookup_latency_ms: float
+    mean_transfer_ms: float
+    outcome_counts: Dict[str, int]
+    hit_ratio_curve: List[Tuple[float, float]]
+    lookup_cdf: List[Tuple[float, float]]
+    transfer_cdf: List[Tuple[float, float]]
+    events_executed: int = 0
+    messages_sent: int = 0
+    arrivals: int = 0
+    departures: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_metrics(
+        cls,
+        protocol: str,
+        seed: int,
+        population: int,
+        duration_hours: float,
+        metrics: MetricsCollector,
+        curve_window_hours: float = 1.0,
+        **kwargs: Any,
+    ) -> "ExperimentResult":
+        """Build the summary from a populated metrics collector."""
+        series = RatioSeries()
+        for record in metrics.records:
+            series.observe(record.time, record.is_hit)
+        horizon = duration_hours * HOUR
+        window = curve_window_hours * HOUR
+        curve = [
+            (point.time / HOUR, point.ratio)
+            for point in (
+                series.cumulative(window, horizon) if horizon >= window else []
+            )
+        ]
+        lookup = Distribution(metrics.lookup_latencies())
+        transfer = Distribution(metrics.transfer_distances())
+        return cls(
+            protocol=protocol,
+            seed=seed,
+            population=population,
+            duration_hours=duration_hours,
+            queries=len(metrics),
+            hit_ratio=metrics.hit_ratio(),
+            mean_lookup_latency_ms=metrics.mean_lookup_latency_ms(),
+            mean_transfer_ms=metrics.mean_transfer_ms(),
+            outcome_counts={
+                outcome: metrics.outcome_count(outcome)
+                for outcome in sorted(
+                    {record.outcome for record in metrics.records}
+                )
+            },
+            hit_ratio_curve=curve,
+            lookup_cdf=lookup.cdf_points(250),
+            transfer_cdf=transfer.cdf_points(250),
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------ serialize
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "population": self.population,
+            "duration_hours": self.duration_hours,
+            "queries": self.queries,
+            "hit_ratio": self.hit_ratio,
+            "mean_lookup_latency_ms": self.mean_lookup_latency_ms,
+            "mean_transfer_ms": self.mean_transfer_ms,
+            "outcome_counts": dict(self.outcome_counts),
+            "hit_ratio_curve": [list(p) for p in self.hit_ratio_curve],
+            "lookup_cdf": [list(p) for p in self.lookup_cdf],
+            "transfer_cdf": [list(p) for p in self.transfer_cdf],
+            "events_executed": self.events_executed,
+            "messages_sent": self.messages_sent,
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "extra": dict(self.extra),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary_line(self) -> str:
+        """One-line human summary for harness output."""
+        return (
+            f"{self.protocol:>9}  P={self.population:<5} "
+            f"hit={self.hit_ratio:5.3f}  "
+            f"lookup={self.mean_lookup_latency_ms:7.1f} ms  "
+            f"transfer={self.mean_transfer_ms:6.1f} ms  "
+            f"queries={self.queries}"
+        )

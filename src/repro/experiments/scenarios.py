@@ -1,0 +1,152 @@
+"""Programmatic builders for every figure and table of the paper.
+
+The benchmark harness prints tables; this module returns *data* -- one
+function per paper artefact, each a plain dict that serializes cleanly.
+Use these from notebooks, scripts or the CLI when you want the numbers
+rather than the rendered report::
+
+    from repro.experiments import scenarios
+
+    fig3 = scenarios.fig3_hit_ratio(config, seed=1)
+    fig3["flower"]     # [(hour, cumulative hit ratio), ...]
+    fig3["crossover_hour"]
+
+    table2 = scenarios.table2_scalability([2000, 3000], seed=1)
+    table2["rows"]     # the paper's row dicts
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.compare import shape_checks
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import run_experiment
+from repro.metrics.distribution import (
+    LOOKUP_LATENCY_EDGES,
+    TRANSFER_DISTANCE_EDGES,
+)
+
+
+def _headline_pair(
+    config: ExperimentConfig, seed: int
+) -> Dict[str, ExperimentResult]:
+    return {
+        "flower": run_experiment("flower", config, seed=seed),
+        "squirrel": run_experiment("squirrel", config, seed=seed),
+    }
+
+
+def _crossover_hour(
+    flower_curve: List[tuple], squirrel_curve: List[tuple]
+) -> Optional[float]:
+    for (hour, f_ratio), (__, s_ratio) in zip(flower_curve, squirrel_curve):
+        if f_ratio > s_ratio:
+            return hour
+    return None
+
+
+def _bucket_fractions(cdf: List[tuple], edges: Iterable[float]) -> Dict[str, float]:
+    def below(threshold: float) -> float:
+        best = 0.0
+        for value, fraction in cdf:
+            if value <= threshold:
+                best = fraction
+        return best
+
+    buckets: Dict[str, float] = {}
+    previous, prev_fraction = 0.0, 0.0
+    for edge in edges:
+        fraction = below(edge)
+        label = f"<={edge:g}" if previous == 0.0 else f"{previous:g}-{edge:g}"
+        buckets[label] = fraction - prev_fraction
+        previous, prev_fraction = edge, fraction
+    buckets[f">{previous:g}"] = 1.0 - prev_fraction
+    return buckets
+
+
+def fig3_hit_ratio(config: ExperimentConfig, seed: int = 1) -> Dict:
+    """Figure 3: hit-ratio-over-time curves plus the crossover point."""
+    pair = _headline_pair(config, seed)
+    return {
+        "flower": pair["flower"].hit_ratio_curve,
+        "squirrel": pair["squirrel"].hit_ratio_curve,
+        "final": {
+            name: result.hit_ratio for name, result in pair.items()
+        },
+        "crossover_hour": _crossover_hour(
+            pair["flower"].hit_ratio_curve, pair["squirrel"].hit_ratio_curve
+        ),
+        "shape_checks": [
+            (check.name, check.passed)
+            for check in shape_checks(pair["flower"], pair["squirrel"])
+        ],
+    }
+
+
+def fig4_lookup_latency(config: ExperimentConfig, seed: int = 1) -> Dict:
+    """Figure 4: lookup-latency bucket fractions at the paper's edges."""
+    pair = _headline_pair(config, seed)
+    return {
+        name: _bucket_fractions(result.lookup_cdf, LOOKUP_LATENCY_EDGES)
+        for name, result in pair.items()
+    } | {
+        "means_ms": {
+            name: result.mean_lookup_latency_ms for name, result in pair.items()
+        }
+    }
+
+
+def fig5_transfer_distance(config: ExperimentConfig, seed: int = 1) -> Dict:
+    """Figure 5: transfer-distance bucket fractions at the paper's edges."""
+    pair = _headline_pair(config, seed)
+    return {
+        name: _bucket_fractions(result.transfer_cdf, TRANSFER_DISTANCE_EDGES)
+        for name, result in pair.items()
+    } | {
+        "means_ms": {
+            name: result.mean_transfer_ms for name, result in pair.items()
+        }
+    }
+
+
+def table2_scalability(
+    populations: Iterable[int],
+    seed: int = 1,
+    config_factory=None,
+) -> Dict:
+    """Table 2: the scalability sweep.
+
+    Args:
+        populations: the P values to sweep (paper: 2000..5000).
+        seed: master seed shared by every run.
+        config_factory: ``population -> ExperimentConfig``; defaults to
+            :meth:`ExperimentConfig.paper`.
+    """
+    if config_factory is None:
+        config_factory = lambda population: ExperimentConfig.paper(population)
+    rows: List[Dict] = []
+    for population in populations:
+        config = config_factory(population)
+        for protocol in ("squirrel", "flower"):
+            result = run_experiment(protocol, config, seed=seed)
+            rows.append(
+                {
+                    "population": population,
+                    "approach": protocol,
+                    "hit_ratio": result.hit_ratio,
+                    "lookup_ms": result.mean_lookup_latency_ms,
+                    "transfer_ms": result.mean_transfer_ms,
+                }
+            )
+    flower_rows = [row for row in rows if row["approach"] == "flower"]
+    squirrel_rows = [row for row in rows if row["approach"] == "squirrel"]
+    last_f, last_s = flower_rows[-1], squirrel_rows[-1]
+    return {
+        "rows": rows,
+        "lookup_factor_at_max_p": last_s["lookup_ms"] / max(last_f["lookup_ms"], 1e-9),
+        "transfer_factor_at_max_p": last_s["transfer_ms"]
+        / max(last_f["transfer_ms"], 1e-9),
+        "flower_hit_trend": [row["hit_ratio"] for row in flower_rows],
+    }

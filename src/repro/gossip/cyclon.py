@@ -1,0 +1,144 @@
+"""Cyclon-style shuffle protocol (Voulgaris, Gavidia & van Steen, 2005).
+
+Flower-CDN's petal maintenance is "inspired of P2P membership protocols
+proven to be highly robust in face of churn" [17 = Cyclon].  Each gossip
+round, a peer:
+
+1. ages its whole view by one;
+2. picks its *oldest* contact as the exchange target (so the entries most
+   likely to be stale are probed first);
+3. sends the target a sample of its view plus a fresh entry for itself;
+4. merges the contacts the target sends back, preferring fresher ages;
+5. on timeout, evicts the target -- the paper's "when a peer selects a
+   contact for gossip and finds it unavailable, the peer removes the contact
+   from its view, which naturally bounds the view size".
+
+The CDN layer piggybacks application data on every exchange -- content
+summaries (section 3.1) and dir-info reconciliation (section 5.1) -- through
+the ``local_data`` / ``on_peer_data`` hooks, so this module stays a pure
+membership protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.gossip.view import Contact, PartialView
+from repro.net.message import Message
+from repro.net.transport import NetworkNode
+from repro.types import Address
+
+#: Produces the application payload piggybacked on a shuffle.
+DataProvider = Callable[[], Dict[str, Any]]
+
+#: Receives the application payload of the exchange partner.
+DataConsumer = Callable[[Address, Dict[str, Any]], None]
+
+#: Notified when a contact is evicted because it did not answer.
+DeathListener = Callable[[Address], None]
+
+
+def pack_contacts(contacts: List[Contact]) -> List[tuple]:
+    """Wire format of a contact list: [(address, age), ...]."""
+    return [(c.address, c.age) for c in contacts]
+
+
+def unpack_contacts(raw: List[tuple]) -> List[Contact]:
+    """Inverse of :func:`pack_contacts`."""
+    return [Contact(address, age) for address, age in raw]
+
+
+class CyclonProtocol:
+    """The gossip behaviour of one peer over one view.
+
+    Args:
+        host: network endpoint (must forward ``gossip.shuffle`` messages
+            to :meth:`handle_shuffle`).
+        view: the partial view to maintain.
+        rng: random stream for sampling.
+        shuffle_size: number of contacts sent per exchange.
+        local_data: hook producing piggybacked application data.
+        on_peer_data: hook consuming the partner's application data.
+        on_contact_dead: hook fired when a target is evicted on timeout.
+    """
+
+    def __init__(
+        self,
+        host: NetworkNode,
+        view: PartialView,
+        rng: random.Random,
+        shuffle_size: int = 5,
+        local_data: Optional[DataProvider] = None,
+        on_peer_data: Optional[DataConsumer] = None,
+        on_contact_dead: Optional[DeathListener] = None,
+    ) -> None:
+        self.host = host
+        self.view = view
+        self.rng = rng
+        self.shuffle_size = shuffle_size
+        self.local_data = local_data
+        self.on_peer_data = on_peer_data
+        self.on_contact_dead = on_contact_dead
+        self.rounds_started = 0
+        self.exchanges_completed = 0
+        self.evictions = 0
+
+    # -------------------------------------------------------------- initiator
+    def gossip_round(self) -> None:
+        """One proactive gossip round (call periodically)."""
+        if not self.host.alive:
+            return
+        self.rounds_started += 1
+        self.view.increase_ages()
+        target = self.view.oldest()
+        if target is None:
+            return
+        sample = self.view.sample(
+            self.rng, self.shuffle_size - 1, exclude={target.address}
+        )
+        payload: Dict[str, Any] = {
+            "contacts": pack_contacts(sample + [Contact(self.host.address, 0)]),
+        }
+        if self.local_data is not None:
+            payload["data"] = self.local_data()
+        self.host.rpc(
+            target.address,
+            "gossip.shuffle",
+            payload,
+            on_reply=lambda reply: self._on_shuffle_reply(target.address, reply),
+            on_timeout=lambda: self._on_target_dead(target.address),
+        )
+
+    def _on_shuffle_reply(self, target: Address, reply: Dict[str, Any]) -> None:
+        self.exchanges_completed += 1
+        self.view.refresh(target)
+        self.view.merge(unpack_contacts(reply.get("contacts", [])))
+        if self.on_peer_data is not None and "data" in reply:
+            self.on_peer_data(target, reply["data"])
+        self.host.sim.emit("gossip.exchange", initiator=self.host.address, target=target)
+
+    def _on_target_dead(self, target: Address) -> None:
+        self.evictions += 1
+        self.view.remove(target)
+        self.host.sim.emit("gossip.evict", by=self.host.address, dead=target)
+        if self.on_contact_dead is not None:
+            self.on_contact_dead(target)
+
+    # -------------------------------------------------------------- responder
+    def handle_shuffle(self, message: Message) -> Dict[str, Any]:
+        """Respond to a shuffle: merge their sample, return ours."""
+        incoming = unpack_contacts(message.payload.get("contacts", []))
+        reply_sample = self.view.sample(
+            self.rng, self.shuffle_size, exclude={message.src}
+        )
+        self.view.merge(incoming)
+        self.view.refresh(message.src)
+        reply: Dict[str, Any] = {
+            "contacts": pack_contacts(reply_sample + [Contact(self.host.address, 0)]),
+        }
+        if self.on_peer_data is not None and "data" in message.payload:
+            self.on_peer_data(message.src, message.payload["data"])
+        if self.local_data is not None:
+            reply["data"] = self.local_data()
+        return reply

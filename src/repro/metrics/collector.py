@@ -1,0 +1,142 @@
+"""Per-query measurement records.
+
+Every query issued in an experiment produces exactly one
+:class:`QueryRecord`, stamped with how it was served:
+
+==================  ============================================== =========
+outcome             meaning                                        P2P hit?
+==================  ============================================== =========
+``hit_local``       found in the peer's own cache (never counted
+                    as a query by the paper's workload -- peers
+                    only query what they lack -- but kept for
+                    completeness and examples)                     yes
+``hit_summary``     served by a petal neighbour known through
+                    gossip content summaries (Flower)              yes
+``hit_directory``   a directory peer redirected to a provider
+                    (Flower D-ring or Squirrel home node)          yes
+``hit_transfer``    directory peers of the same website
+                    collaborated (Flower, section 3.2)             yes
+``hit_home``        served by a home-node replica (Squirrel's
+                    home-store strategy, section 2)                yes
+``miss_server``     no copy found: fetched from the origin server  no
+``miss_failed``     routing failed (lookup error / timeout);
+                    fetched from the origin server                 no
+==================  ============================================== =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import CDNError
+from repro.types import LocalityId, ObjectKey, WebsiteId
+
+#: Outcomes counted as "served from the P2P system".
+HIT_OUTCOMES = frozenset(
+    {"hit_local", "hit_summary", "hit_directory", "hit_transfer", "hit_home"}
+)
+
+#: Outcomes served by the origin web server.
+MISS_OUTCOMES = frozenset({"miss_server", "miss_failed"})
+
+ALL_OUTCOMES = HIT_OUTCOMES | MISS_OUTCOMES
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """The measured life of one query.
+
+    Attributes:
+        time: simulation time the query completed (ms).
+        website / object_key / locality: what was asked, from where.
+        outcome: how it was served (see module docstring).
+        lookup_latency_ms: time from issuing the query to reaching the
+            destination that provides the object.
+        transfer_ms: one-way network latency from the querier to that
+            provider (the paper's transfer distance).
+        hops: DHT hops used, if the query was routed over a ring.
+    """
+
+    time: float
+    website: WebsiteId
+    object_key: ObjectKey
+    locality: LocalityId
+    outcome: str
+    lookup_latency_ms: float
+    transfer_ms: float
+    hops: int = 0
+
+    @property
+    def is_hit(self) -> bool:
+        return self.outcome in HIT_OUTCOMES
+
+
+class MetricsCollector:
+    """Accumulates query records and answers the paper's three metrics."""
+
+    def __init__(self) -> None:
+        self.records: List[QueryRecord] = []
+        self._outcome_counts: Dict[str, int] = {}
+
+    def record(self, record: QueryRecord) -> None:
+        if record.outcome not in ALL_OUTCOMES:
+            raise CDNError(f"unknown query outcome {record.outcome!r}")
+        self.records.append(record)
+        self._outcome_counts[record.outcome] = (
+            self._outcome_counts.get(record.outcome, 0) + 1
+        )
+
+    # ------------------------------------------------------------- summaries
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def outcome_count(self, outcome: str) -> int:
+        return self._outcome_counts.get(outcome, 0)
+
+    @property
+    def hits(self) -> int:
+        return sum(self._outcome_counts.get(o, 0) for o in HIT_OUTCOMES)
+
+    @property
+    def misses(self) -> int:
+        return sum(self._outcome_counts.get(o, 0) for o in MISS_OUTCOMES)
+
+    def hit_ratio(self) -> float:
+        """Fraction of queries served from the P2P system."""
+        total = len(self.records)
+        return self.hits / total if total else 0.0
+
+    def mean_lookup_latency_ms(self, hits_only: bool = False) -> float:
+        values = self.lookup_latencies(hits_only=hits_only)
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_transfer_ms(self, hits_only: bool = False) -> float:
+        values = self.transfer_distances(hits_only=hits_only)
+        return sum(values) / len(values) if values else 0.0
+
+    # ----------------------------------------------------------- projections
+    def lookup_latencies(self, hits_only: bool = False) -> List[float]:
+        return [
+            r.lookup_latency_ms
+            for r in self.records
+            if not hits_only or r.is_hit
+        ]
+
+    def transfer_distances(self, hits_only: bool = False) -> List[float]:
+        return [r.transfer_ms for r in self.records if not hits_only or r.is_hit]
+
+    def filtered(
+        self,
+        website: Optional[WebsiteId] = None,
+        locality: Optional[LocalityId] = None,
+        outcomes: Optional[Iterable[str]] = None,
+    ) -> List[QueryRecord]:
+        wanted = frozenset(outcomes) if outcomes is not None else None
+        return [
+            r
+            for r in self.records
+            if (website is None or r.website == website)
+            and (locality is None or r.locality == locality)
+            and (wanted is None or r.outcome in wanted)
+        ]

@@ -1,0 +1,38 @@
+"""Message envelope.
+
+Every unit of communication in the simulation is a :class:`Message`.  The
+payload is an arbitrary dict owned by the protocol layer; the envelope only
+carries addressing and correlation metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.types import Address
+
+
+@dataclass
+class Message:
+    """One message in flight.
+
+    Attributes:
+        src: sender address.
+        dst: destination address.
+        kind: protocol-level message type (e.g. ``"gossip.shuffle"``).
+        payload: protocol-owned content.
+        sent_at: simulation time the message left the sender.
+        request_id: correlation id set by the RPC layer (None for one-way).
+    """
+
+    src: Address
+    dst: Address
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    sent_at: float = 0.0
+    request_id: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        req = f", req={self.request_id}" if self.request_id is not None else ""
+        return f"Message({self.src}->{self.dst} {self.kind!r} @{self.sent_at:.1f}{req})"

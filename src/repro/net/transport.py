@@ -1,0 +1,286 @@
+"""Latency-delayed message transport with liveness and RPC timeouts.
+
+This is where the simulation meets the "physical" network:
+
+- a message from ``a`` to ``b`` is delivered ``topology.latency(a, b)``
+  milliseconds after it is sent;
+- a message addressed to a failed peer is silently lost -- exactly what a
+  crash looks like from the outside;
+- the RPC helper gives protocol code the only failure signal real P2P nodes
+  have: *no reply within the timeout*.  All failure detection in the paper's
+  maintenance protocols (section 5) is built on this.
+
+Protocol endpoints subclass :class:`NetworkNode` and implement handlers named
+``handle_<kind>`` (dots in the kind become underscores).  A handler's return
+value becomes the RPC reply payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import TransportError
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.types import Address
+
+#: Called with the RPC reply payload when the response arrives.
+ReplyCallback = Callable[[Dict[str, Any]], None]
+
+#: Called when an RPC times out (destination dead or unknown).
+FailureCallback = Callable[[], None]
+
+
+class NetworkNode:
+    """Base class of every protocol endpoint.
+
+    Subclasses implement ``handle_<kind>(message) -> Optional[dict]`` methods;
+    the returned dict (if any) is delivered to the RPC caller as the reply.
+
+    Attributes:
+        network: the owning :class:`Network`.
+        sim: the simulator (shortcut for ``network.sim``).
+        address: this node's unique address, assigned at registration.
+        alive: liveness flag; dead nodes receive nothing and send nothing.
+    """
+
+    def __init__(self, network: "Network", cluster_hint: Optional[int] = None) -> None:
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.alive = True
+        self.address: Address = network.register(self, cluster_hint)
+
+    # ------------------------------------------------------------- liveness
+    def fail(self) -> None:
+        """Crash the node.  In-flight messages to it will be dropped.
+
+        Subclasses override to also cancel their periodic processes, then
+        call ``super().fail()``.
+        """
+        self.alive = False
+
+    def revive(self) -> None:
+        """Bring the node back up (a user re-joining from the same machine).
+
+        The address -- and therefore the topology position -- is retained:
+        it is the same physical host.
+        """
+        self.alive = True
+
+    # ------------------------------------------------------------ messaging
+    def send(self, dst: Address, kind: str, **payload: Any) -> None:
+        """Fire-and-forget one-way message."""
+        self.network.send(self, dst, kind, payload)
+
+    def rpc(
+        self,
+        dst: Address,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        on_reply: Optional[ReplyCallback] = None,
+        on_timeout: Optional[FailureCallback] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> None:
+        """Request/response with a timeout (see :meth:`Network.rpc`)."""
+        self.network.rpc(self, dst, kind, payload or {}, on_reply, on_timeout, timeout_ms)
+
+    def on_message(self, message: Message) -> Optional[Dict[str, Any]]:
+        """Dispatch to ``handle_<kind>``.  Subclasses rarely override this."""
+        handler = getattr(self, "handle_" + message.kind.replace(".", "_"), None)
+        if handler is None:
+            raise TransportError(
+                f"{type(self).__name__} at {self.address} has no handler "
+                f"for message kind {message.kind!r}"
+            )
+        return handler(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"{type(self).__name__}(addr={self.address}, {state})"
+
+
+class Network:
+    """The message fabric: registry, latency-delayed delivery, RPC.
+
+    Args:
+        sim: the driving simulator.
+        topology: the latency model; each registered node is placed in it.
+        default_timeout_ms: RPC timeout when the caller does not pass one.
+            Must exceed the worst-case round trip (2 x max link latency),
+            otherwise live-but-distant peers would be misdiagnosed as dead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        default_timeout_ms: float = 2000.0,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.default_timeout_ms = default_timeout_ms
+        self._drop_rate = 0.0
+        self._drop_rng: Optional["random.Random"] = None
+        self._nodes: List[NetworkNode] = []
+        self._request_ids = itertools.count(1)
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        #: message kind -> number sent; the raw material of the overhead
+        #: analysis ("minimizing the incurred overhead" -- paper section 1).
+        self.kind_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ fault model
+    def configure_loss(self, rate: float, rng: "random.Random") -> None:
+        """Drop each delivery (requests, replies, one-ways) i.i.d. with
+        probability *rate* -- failure injection beyond crash churn.
+
+        Protocols already treat lost messages exactly like messages to dead
+        peers (RPC timeouts), so no protocol code changes; only the failure
+        *rate* goes up.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise TransportError(f"loss rate must be in [0, 1] (got {rate})")
+        self._drop_rate = rate
+        self._drop_rng = rng
+
+    def _lost(self) -> bool:
+        return (
+            self._drop_rate > 0.0
+            and self._drop_rng is not None
+            and self._drop_rng.random() < self._drop_rate
+        )
+
+    # -------------------------------------------------------------- registry
+    def register(self, node: NetworkNode, cluster_hint: Optional[int] = None) -> Address:
+        """Register *node*, place it in the topology, return its address."""
+        address = len(self._nodes)
+        self._nodes.append(node)
+        self.topology.register(address, cluster_hint)
+        return address
+
+    def node(self, address: Address) -> NetworkNode:
+        """The node registered at *address*."""
+        try:
+            return self._nodes[address]
+        except IndexError:
+            raise TransportError(f"unknown address {address}") from None
+
+    def is_alive(self, address: Address) -> bool:
+        """Liveness of the node at *address* (False for unknown addresses)."""
+        return 0 <= address < len(self._nodes) and self._nodes[address].alive
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def latency(self, a: Address, b: Address) -> float:
+        """One-way latency between two registered addresses."""
+        return self.topology.latency(a, b)
+
+    # -------------------------------------------------------------- delivery
+    def send(
+        self,
+        src: NetworkNode,
+        dst: Address,
+        kind: str,
+        payload: Dict[str, Any],
+    ) -> None:
+        """One-way message; delivered after the link latency if dst is alive."""
+        if not src.alive:
+            return  # a crashed node sends nothing
+        message = Message(src.address, dst, kind, payload, sent_at=self.sim.now)
+        self.messages_sent += 1
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        self.sim.schedule(self.latency(src.address, dst), self._deliver, message, None)
+
+    def rpc(
+        self,
+        src: NetworkNode,
+        dst: Address,
+        kind: str,
+        payload: Dict[str, Any],
+        on_reply: Optional[ReplyCallback],
+        on_timeout: Optional[FailureCallback],
+        timeout_ms: Optional[float],
+    ) -> None:
+        """Request/response with timeout.
+
+        The destination handler runs when the request arrives; its return
+        value travels back and ``on_reply`` fires at the source one link
+        latency later.  If the destination is dead (at delivery time) the
+        request vanishes and ``on_timeout`` fires ``timeout_ms`` after the
+        send -- the caller cannot tell *why* there was no answer, only that
+        there was none, matching real failure detection.
+
+        Callbacks are suppressed if the *source* has died in the meantime
+        (a dead peer processes nothing, including its own timers).
+        """
+        if not src.alive:
+            return
+        if timeout_ms is None:
+            timeout_ms = self.default_timeout_ms
+        message = Message(
+            src.address, dst, kind, payload,
+            sent_at=self.sim.now, request_id=next(self._request_ids),
+        )
+        self.messages_sent += 1
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        context = _RpcContext(src, on_reply, on_timeout)
+        self.sim.schedule(timeout_ms, context.fire_timeout)
+        self.sim.schedule(self.latency(src.address, dst), self._deliver, message, context)
+
+    def _deliver(self, message: Message, context: Optional["_RpcContext"]) -> None:
+        dst_node = self._nodes[message.dst] if 0 <= message.dst < len(self._nodes) else None
+        if dst_node is None or not dst_node.alive or self._lost():
+            self.messages_dropped += 1
+            self.sim.emit("net.drop", message_kind=message.kind, dst=message.dst)
+            return
+        reply = dst_node.on_message(message)
+        if context is not None:
+            self.messages_sent += 1
+            self.sim.schedule(
+                self.latency(message.dst, message.src),
+                self._deliver_reply,
+                context,
+                reply if reply is not None else {},
+            )
+
+    def _deliver_reply(self, context: "_RpcContext", payload: Dict[str, Any]) -> None:
+        if self._lost():
+            self.messages_dropped += 1
+            self.sim.emit("net.drop", message_kind="(reply)", dst=context.src.address)
+            return
+        context.fire_reply(payload)
+
+
+class _RpcContext:
+    """Correlates one RPC's reply and timeout; whichever fires first wins."""
+
+    __slots__ = ("src", "on_reply", "on_timeout", "settled")
+
+    def __init__(
+        self,
+        src: NetworkNode,
+        on_reply: Optional[ReplyCallback],
+        on_timeout: Optional[FailureCallback],
+    ) -> None:
+        self.src = src
+        self.on_reply = on_reply
+        self.on_timeout = on_timeout
+        self.settled = False
+
+    def fire_reply(self, payload: Dict[str, Any]) -> None:
+        if self.settled or not self.src.alive:
+            return
+        self.settled = True
+        if self.on_reply is not None:
+            self.on_reply(payload)
+
+    def fire_timeout(self) -> None:
+        if self.settled or not self.src.alive:
+            return
+        self.settled = True
+        if self.on_timeout is not None:
+            self.on_timeout()

@@ -1,0 +1,163 @@
+"""The simulator: clock + event queue + RNG streams + trace bus.
+
+One :class:`Simulator` instance drives an entire experiment.  Protocol code
+never advances time itself; it only *schedules* callbacks::
+
+    sim = Simulator(seed=42)
+    sim.schedule(minutes(6), peer.issue_query)
+    sim.run(until=hours(24))
+
+The engine is single-threaded and deterministic: events at equal times fire
+in scheduling order (see :mod:`repro.sim.events`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle, EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        seed: master seed for all named random streams.
+
+    Attributes:
+        now: current simulation time in milliseconds.
+        trace: the :class:`~repro.sim.trace.TraceRecorder` event bus.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.trace = TraceRecorder()
+        self._queue = EventQueue()
+        self._rng = RngRegistry(seed)
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far (engine throughput metric)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled and not cancelled."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> EventHandle:
+        """Schedule *callback(*args)* to run *delay* ms from now.
+
+        Raises:
+            SimulationError: if *delay* is negative (the past is immutable).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback, args)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> EventHandle:
+        """Schedule *callback(*args)* at absolute *time* (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        return self._queue.push(time, callback, args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event.  Idempotent; safe on fired handles."""
+        if handle.active:
+            handle.cancel()
+            self._queue.notify_cancelled()
+
+    # ------------------------------------------------------------------- rng
+    def rng(self, name: str) -> random.Random:
+        """The named random stream (see :mod:`repro.sim.rng`)."""
+        return self._rng.stream(name)
+
+    @property
+    def seed(self) -> int:
+        """The master seed this simulator was created with."""
+        return self._rng.master_seed
+
+    # --------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Execute the single next event.  Return False if none remained."""
+        if not self._queue:
+            return False
+        handle = self._queue.pop()
+        if handle.time < self.now:  # pragma: no cover - heap invariant
+            raise SimulationError("event queue returned an event from the past")
+        self.now = handle.time
+        self._events_executed += 1
+        handle._fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the horizon *until* (ms), or the queue drains.
+
+        When *until* is given, the clock is advanced exactly to it on return,
+        so back-to-back ``run`` calls tile the timeline without gaps.  Events
+        scheduled at exactly ``until`` are NOT executed (half-open interval
+        ``[now, until)``), which makes ``run(until=t); run(until=t)`` a no-op.
+
+        Args:
+            until: absolute stop time in ms.
+            max_events: optional safety valve for tests; raises
+                :class:`SimulationError` when exceeded.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        if until is not None and until < self.now:
+            raise SimulationError(f"cannot run backwards (until={until}, now={self.now})")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time >= until:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None and not self._stopped:
+                self.now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns."""
+        self._stopped = True
+
+    # ----------------------------------------------------------------- trace
+    def emit(self, kind: str, **payload: Any) -> None:
+        """Emit a trace event stamped with the current simulation time."""
+        self.trace.emit(self.now, kind, **payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.1f}ms, pending={self.pending_events}, "
+            f"executed={self._events_executed})"
+        )

@@ -1,0 +1,139 @@
+"""The event heap.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.  The
+monotonically increasing sequence number breaks ties between events scheduled
+for the same instant, so execution order is fully deterministic: events fire
+in scheduling order when their times are equal.
+
+Cancellation is *lazy*: :meth:`EventHandle.cancel` marks the handle and the
+queue discards cancelled entries when they surface at the top of the heap.
+This is the standard approach (also used by ``sched`` and asyncio) and keeps
+both ``schedule`` and ``cancel`` O(log n) / O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires.
+
+    Instances are returned by :meth:`EventQueue.push` (and therefore by
+    ``Simulator.schedule``).  They order by ``(time, seq)`` so they can live
+    directly inside the heap.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[..., Any]] = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent.
+
+        The callback reference is dropped immediately so cancelled events do
+        not keep closures (and whatever they capture) alive until they drain
+        from the heap.
+        """
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return not self.cancelled and self.callback is not None
+
+    def _fire(self) -> None:
+        callback, args = self.callback, self.args
+        self.callback = None
+        self.args = ()
+        if callback is not None:
+            callback(*args)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`EventHandle` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[EventHandle] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *pending* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> EventHandle:
+        """Schedule *callback(*args)* at absolute *time*; return its handle."""
+        handle = EventHandle(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, handle)
+        self._live += 1
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> EventHandle:
+        """Remove and return the next pending event.
+
+        Raises:
+            IndexError: if no pending event remains.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        handle = heapq.heappop(self._heap)
+        self._live -= 1
+        return handle
+
+    def notify_cancelled(self) -> None:
+        """Account for one externally cancelled handle.
+
+        The queue cannot observe :meth:`EventHandle.cancel` directly, so the
+        owner (the simulator) calls this to keep ``len()`` accurate.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _discard_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

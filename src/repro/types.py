@@ -1,0 +1,35 @@
+"""Shared primitive types and identifiers.
+
+Centralizing these aliases keeps signatures readable across packages and
+documents the small vocabulary the whole system shares.
+"""
+
+from __future__ import annotations
+
+from typing import NewType, Tuple
+
+#: A network address: the unique integer handed out by ``Network.register``.
+Address = int
+
+#: A Chord identifier (point on the m-bit ring).
+ChordId = int
+
+#: Index of a website in the catalog (0 .. num_websites - 1).
+WebsiteId = int
+
+#: Index of an object within its website (0 .. objects_per_website - 1).
+ObjectIndex = int
+
+#: A fully qualified content object: (website, object index).
+ObjectKey = Tuple[WebsiteId, ObjectIndex]
+
+#: A locality index produced by landmark binning (0 .. k - 1).
+LocalityId = int
+
+#: A petal is identified by (website, locality) -- paper section 3.1.
+PetalKey = Tuple[WebsiteId, LocalityId]
+
+#: Position coordinates in the synthetic latency space.
+Coordinate = Tuple[float, float]
+
+NodeName = NewType("NodeName", str)

@@ -1,0 +1,135 @@
+"""Flash-crowd arrival processes.
+
+The P2P-CDN literature the paper builds on (Backslash, PROOFS -- section 2)
+is motivated by *flash crowds*: sudden surges of interest in one website.
+This module models them as a non-homogeneous Poisson arrival process via
+thinning: the base churn rate P/m is multiplied by a time-varying intensity
+profile, and arrivals during the surge are biased toward the hot website.
+
+:class:`FlashCrowdProfile` describes the surge shape (ramp up, peak,
+exponential decay); :class:`FlashCrowdChurnModel` plugs it into the
+standard churn machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.workload.churn import ArrivalCallback, ChurnModel, DepartureCallback
+
+
+@dataclass(frozen=True)
+class FlashCrowdProfile:
+    """Shape of one surge.
+
+    Intensity multiplier over time::
+
+        1.0                              before `start_ms`
+        1.0 -> `peak_multiplier` linear  during [start, start + ramp]
+        peak * exp(-(t - peak_t)/decay)  afterwards, floored at 1.0
+
+    Attributes:
+        start_ms: when the surge begins.
+        ramp_ms: how long the ramp to peak takes.
+        peak_multiplier: arrival-rate multiple at the peak.
+        decay_ms: exponential decay constant after the peak.
+        hot_website: the website the crowd is interested in.
+        hot_interest_probability: chance a surge arrival targets it.
+    """
+
+    start_ms: float
+    ramp_ms: float
+    peak_multiplier: float
+    decay_ms: float
+    hot_website: int = 0
+    hot_interest_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.peak_multiplier < 1.0:
+            raise WorkloadError("peak multiplier must be >= 1")
+        if self.ramp_ms <= 0 or self.decay_ms <= 0:
+            raise WorkloadError("ramp and decay must be positive")
+        if not 0.0 <= self.hot_interest_probability <= 1.0:
+            raise WorkloadError("hot interest probability must be in [0, 1]")
+
+    def intensity(self, time_ms: float) -> float:
+        """Arrival-rate multiplier at *time_ms* (>= 1.0 everywhere)."""
+        if time_ms < self.start_ms:
+            return 1.0
+        peak_time = self.start_ms + self.ramp_ms
+        if time_ms <= peak_time:
+            fraction = (time_ms - self.start_ms) / self.ramp_ms
+            return 1.0 + fraction * (self.peak_multiplier - 1.0)
+        decayed = self.peak_multiplier * math.exp(
+            -(time_ms - peak_time) / self.decay_ms
+        )
+        return max(1.0, decayed)
+
+    def in_surge(self, time_ms: float) -> bool:
+        """Roughly: is the crowd still around (intensity visibly > 1)?"""
+        return self.intensity(time_ms) > 1.05
+
+
+class FlashCrowdChurnModel(ChurnModel):
+    """Churn with a non-homogeneous (surging) arrival process.
+
+    Implementation: thinning.  Candidate arrivals are generated at the
+    *peak* rate; each is accepted with probability
+    ``intensity(now) / peak_multiplier``, which yields a Poisson process of
+    the desired time-varying rate.  Accepted surge arrivals are reported
+    through ``on_surge_interest`` so the CDN layer can bias the identity's
+    website of interest.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        num_identities: int,
+        mean_uptime_ms: float,
+        target_population: int,
+        on_arrival: ArrivalCallback,
+        on_departure: DepartureCallback,
+        profile: FlashCrowdProfile,
+        on_surge_interest: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            rng,
+            num_identities,
+            mean_uptime_ms,
+            target_population,
+            on_arrival,
+            on_departure,
+        )
+        self.profile = profile
+        self.on_surge_interest = on_surge_interest
+        self.surge_arrivals = 0
+
+    def _schedule_next_arrival(self) -> None:
+        # Candidates at the peak rate; thinning happens in _arrive.
+        peak_interarrival = self.mean_interarrival_ms / self.profile.peak_multiplier
+        gap = self.rng.expovariate(1.0 / peak_interarrival)
+        self.sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        self._schedule_next_arrival()
+        acceptance = self.profile.intensity(self.sim.now) / self.profile.peak_multiplier
+        if self.rng.random() > acceptance:
+            return  # thinned: no arrival at the base/current rate
+        surge = self.profile.in_surge(self.sim.now)
+        if surge:
+            self.surge_arrivals += 1
+        biased = (
+            surge
+            and self.on_surge_interest is not None
+            and self.rng.random() < self.profile.hot_interest_probability
+        )
+        # The interest bias must land before the arrival callback so the
+        # CDN layer sees the identity already pinned to the hot website.
+        self._admit_arrival(pre_arrival=self.on_surge_interest if biased else None)

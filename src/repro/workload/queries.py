@@ -1,0 +1,91 @@
+"""Per-peer query streams.
+
+The paper's query model (section 6.1):
+
+- a peer interested in an *active* website submits one query every 6 minutes
+  from arrival until failure;
+- queries target objects of its website of interest, Zipf-distributed;
+- "a peer only poses queries for objects unavailable in its local storage
+  (i.e., it never issues the same query more than once)".
+
+:class:`QueryStream` realises the "never repeat" rule by rejection-sampling
+the Zipf distribution against the set of objects the peer already requested;
+once the peer has seen a large share of the catalog (rejection becomes
+wasteful) it falls back to choosing uniformly among the not-yet-requested
+objects, and when everything has been requested the stream is exhausted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from repro.errors import WorkloadError
+from repro.types import ObjectIndex, ObjectKey, WebsiteId
+from repro.workload.zipf import ZipfSampler
+
+#: Give up rejection sampling after this many straight duplicates.
+_MAX_REJECTIONS = 32
+
+
+class QueryStream:
+    """The endless-until-exhausted object demand of one peer.
+
+    Args:
+        website: the website this peer is interested in.
+        sampler: Zipf sampler over that website's objects (shared, stateless).
+        rng: the peer's random stream.
+        already_held: object indexes the peer starts out holding (a re-joining
+            identity keeps its cache, so it resumes where it left off).
+    """
+
+    def __init__(
+        self,
+        website: WebsiteId,
+        sampler: ZipfSampler,
+        rng: random.Random,
+        already_held: Optional[Set[ObjectIndex]] = None,
+    ) -> None:
+        self.website = website
+        self.sampler = sampler
+        self.rng = rng
+        self.requested: Set[ObjectIndex] = set(already_held or ())
+        self.issued = 0
+
+    def mark_held(self, indexes: Set[ObjectIndex]) -> None:
+        """Exclude *indexes* from future draws (the peer holds them now).
+
+        Used when a re-joining identity resumes its stream: objects fetched
+        outside the stream (or in earlier sessions) must never be re-queried.
+        """
+        self.requested |= indexes
+
+    def forget(self, indexes: Set[ObjectIndex]) -> None:
+        """Allow *indexes* to be drawn again (their copies were evicted
+        by cache replacement -- the bounded-cache extension)."""
+        self.requested -= indexes
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the peer has requested every object of its website."""
+        return len(self.requested) >= self.sampler.n
+
+    def next_object(self) -> Optional[ObjectKey]:
+        """The next object to query, or None when exhausted."""
+        if self.exhausted:
+            return None
+        index = self._draw_unrequested()
+        self.requested.add(index)
+        self.issued += 1
+        return (self.website, index)
+
+    def _draw_unrequested(self) -> ObjectIndex:
+        for __ in range(_MAX_REJECTIONS):
+            index = self.sampler.sample(self.rng)
+            if index not in self.requested:
+                return index
+        # Dense coverage: pick uniformly among the remainder.
+        remaining = [i for i in range(self.sampler.n) if i not in self.requested]
+        if not remaining:  # pragma: no cover - guarded by `exhausted`
+            raise WorkloadError("query stream exhausted")
+        return self.rng.choice(remaining)

@@ -1,0 +1,89 @@
+"""Unit tests for result exporters."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    RESULT_COLUMNS,
+    curve_to_csv,
+    markdown_table,
+    results_to_csv,
+    results_to_markdown,
+)
+from repro.errors import ReproError
+from repro.experiments.results import ExperimentResult
+
+
+def fake_result(protocol="flower", population=240):
+    return ExperimentResult(
+        protocol=protocol,
+        seed=1,
+        population=population,
+        duration_hours=12.0,
+        queries=1000,
+        hit_ratio=0.625,
+        mean_lookup_latency_ms=450.0,
+        mean_transfer_ms=90.0,
+        outcome_counts={"hit_directory": 625, "miss_server": 375},
+        hit_ratio_curve=[(1.0, 0.2), (2.0, 0.4)],
+        lookup_cdf=[(100.0, 1.0)],
+        transfer_cdf=[(100.0, 1.0)],
+        arrivals=500,
+        departures=480,
+        messages_sent=10_000,
+        events_executed=50_000,
+    )
+
+
+def test_results_to_csv_roundtrip():
+    text = results_to_csv([fake_result(), fake_result("squirrel")])
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == list(RESULT_COLUMNS)
+    assert len(rows) == 3
+    assert rows[1][0] == "flower"
+    assert rows[2][0] == "squirrel"
+    assert float(rows[1][rows[0].index("hit_ratio")]) == 0.625
+
+
+def test_results_to_csv_empty_rejected():
+    with pytest.raises(ReproError):
+        results_to_csv([])
+
+
+def test_curve_to_csv():
+    text = curve_to_csv(fake_result())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["hour", "cumulative_hit_ratio"]
+    assert rows[1] == ["1.0", "0.2"]
+    assert len(rows) == 3
+
+
+def test_curve_to_csv_requires_curve():
+    result = fake_result()
+    object.__setattr__  # (dataclass is not frozen; direct assign works)
+    result.hit_ratio_curve = []
+    with pytest.raises(ReproError):
+        curve_to_csv(result)
+
+
+def test_markdown_table_shape():
+    text = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"
+    assert len(lines) == 4
+
+
+def test_markdown_table_validation():
+    with pytest.raises(ReproError):
+        markdown_table([], [])
+    with pytest.raises(ReproError):
+        markdown_table(["a"], [[1, 2]])
+
+
+def test_results_to_markdown():
+    text = results_to_markdown([fake_result()])
+    assert "| flower | 240 | 0.625 | 450 ms | 90 ms | 1000 |" in text

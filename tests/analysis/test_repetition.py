@@ -1,0 +1,78 @@
+"""Unit tests for multi-seed aggregation."""
+
+import math
+
+import pytest
+
+from repro.analysis.repetition import (
+    aggregate,
+    aggregate_metric,
+    repeat_experiment,
+    t_quantile_95,
+)
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+
+
+def test_t_quantiles():
+    assert t_quantile_95(1) == pytest.approx(12.706)
+    assert t_quantile_95(10) == pytest.approx(2.228)
+    assert t_quantile_95(100) == pytest.approx(1.960)
+    with pytest.raises(ReproError):
+        t_quantile_95(0)
+
+
+def test_aggregate_empty_rejected():
+    with pytest.raises(ReproError):
+        aggregate("x", [])
+
+
+def test_aggregate_single_sample():
+    result = aggregate("hit", [0.5])
+    assert result.mean == 0.5
+    assert result.std == 0.0
+    assert result.ci95 == 0.0
+    assert result.n == 1
+
+
+def test_aggregate_known_values():
+    result = aggregate("x", [2.0, 4.0, 6.0])
+    assert result.mean == 4.0
+    assert result.std == pytest.approx(2.0)
+    expected_ci = 4.303 * 2.0 / math.sqrt(3)
+    assert result.ci95 == pytest.approx(expected_ci)
+    assert result.low == pytest.approx(4.0 - expected_ci)
+    assert result.high == pytest.approx(4.0 + expected_ci)
+
+
+def test_aggregate_str():
+    text = str(aggregate("hit_ratio", [0.4, 0.6]))
+    assert "hit_ratio" in text and "n=2" in text
+
+
+def test_repeat_experiment_and_metric_aggregation():
+    config = ExperimentConfig.scaled(
+        population=60,
+        duration_hours=1.0,
+        num_websites=4,
+        num_active_websites=2,
+        num_localities=2,
+        objects_per_website=20,
+    )
+    results = repeat_experiment("flower", config, seeds=[1, 2, 3])
+    assert len(results) == 3
+    assert len({r.seed for r in results}) == 3
+    agg = aggregate_metric(results, "hit_ratio")
+    assert 0.0 <= agg.mean <= 1.0
+    assert agg.n == 3
+    custom = aggregate_metric(
+        results, "queries", extract=lambda r: float(r.queries)
+    )
+    assert custom.mean > 0
+
+
+def test_repeat_requires_seeds():
+    config = ExperimentConfig.scaled(population=60, num_websites=4,
+                                     num_localities=2, num_active_websites=2)
+    with pytest.raises(ReproError):
+        repeat_experiment("flower", config, seeds=[])

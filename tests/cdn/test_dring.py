@@ -1,0 +1,116 @@
+"""Unit tests for the D-ring key-management service."""
+
+import pytest
+
+from repro.cdn.flower.dring import DRingKeyService
+from repro.dht.idspace import IdSpace
+from repro.errors import CDNError
+
+
+def make_service(bits=32, websites=100, localities=6, instances=8):
+    return DRingKeyService(IdSpace(bits), websites, localities, instances)
+
+
+def test_validation():
+    with pytest.raises(CDNError):
+        make_service(websites=0)
+    with pytest.raises(CDNError):
+        make_service(localities=0)
+    with pytest.raises(CDNError):
+        make_service(instances=0)
+    with pytest.raises(CDNError):
+        DRingKeyService(IdSpace(8), 100, 6, 8)  # space too small
+
+
+def test_all_positions_unique():
+    service = make_service()
+    ids = [
+        service.position_id(ws, loc, inst)
+        for ws in range(100)
+        for loc in range(6)
+        for inst in range(8)
+    ]
+    assert len(set(ids)) == len(ids)
+
+
+def test_instances_have_successive_ids():
+    """Section 4: instances of d(ws, loc) sit at consecutive identifiers."""
+    service = make_service()
+    for ws in (0, 17, 99):
+        for loc in range(6):
+            base = service.position_id(ws, loc, 0)
+            for inst in range(1, 8):
+                assert service.position_id(ws, loc, inst) == base + inst
+
+
+def test_same_website_ids_contiguous():
+    """Section 3.2: directory peers of one website are ring neighbours."""
+    service = make_service()
+    for ws in (3, 42):
+        ids = sorted(
+            service.position_id(ws, loc, inst)
+            for loc in range(6)
+            for inst in range(8)
+        )
+        assert ids == list(range(ids[0], ids[0] + len(ids)))
+
+
+def test_decode_roundtrip():
+    service = make_service()
+    for ws in (0, 55, 99):
+        for loc in range(6):
+            for inst in (0, 3, 7):
+                position = service.position_id(ws, loc, inst)
+                assert service.decode(position) == (ws, loc, inst)
+
+
+def test_decode_unknown_prefix():
+    service = make_service(websites=3)
+    # find an id whose prefix belongs to no website
+    space = IdSpace(32)
+    for candidate in range(0, 2**16, 97):
+        if service.decode(candidate << service.arc_bits) is None:
+            return
+    pytest.fail("expected at least one unused prefix")
+
+
+def test_same_website_predicate():
+    service = make_service()
+    a = service.position_id(5, 0, 0)
+    b = service.position_id(5, 5, 7)
+    c = service.position_id(6, 0, 0)
+    assert service.same_website(a, b)
+    assert not service.same_website(a, c)
+
+
+def test_position_validation():
+    service = make_service(websites=10, localities=4, instances=2)
+    with pytest.raises(CDNError):
+        service.position_id(10, 0, 0)
+    with pytest.raises(CDNError):
+        service.position_id(0, 4, 0)
+    with pytest.raises(CDNError):
+        service.position_id(0, 0, 2)
+
+
+def test_all_positions_iterator():
+    service = make_service(websites=4, localities=3, instances=2)
+    positions = list(service.all_positions(0))
+    assert len(positions) == 12
+    assert all(service.decode(pos) == (ws, loc, 0) for ws, loc, pos in positions)
+
+
+def test_single_instance_single_locality():
+    service = DRingKeyService(IdSpace(32), 5, 1, 1)
+    ids = {service.position_id(ws, 0, 0) for ws in range(5)}
+    assert len(ids) == 5
+
+
+def test_deterministic_across_constructions():
+    a = make_service()
+    b = make_service()
+    assert all(
+        a.position_id(ws, loc, 0) == b.position_id(ws, loc, 0)
+        for ws in range(0, 100, 13)
+        for loc in range(6)
+    )

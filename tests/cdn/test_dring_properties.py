@@ -1,0 +1,72 @@
+"""Property-based tests for the D-ring key-management service."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdn.flower.dring import DRingKeyService
+from repro.dht.idspace import IdSpace
+
+layouts = st.tuples(
+    st.integers(1, 40),   # websites
+    st.integers(1, 8),    # localities
+    st.sampled_from([1, 2, 4, 8]),  # max instances
+)
+
+
+@given(layout=layouts)
+@settings(max_examples=60, deadline=None)
+def test_property_injective_over_all_positions(layout):
+    websites, localities, instances = layout
+    service = DRingKeyService(IdSpace(32), websites, localities, instances)
+    ids = set()
+    for ws in range(websites):
+        for loc in range(localities):
+            for inst in range(instances):
+                position = service.position_id(ws, loc, inst)
+                assert position not in ids
+                ids.add(position)
+                assert 0 <= position < 2**32
+
+
+@given(layout=layouts, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_decode_inverts_encode(layout, data):
+    websites, localities, instances = layout
+    service = DRingKeyService(IdSpace(32), websites, localities, instances)
+    ws = data.draw(st.integers(0, websites - 1))
+    loc = data.draw(st.integers(0, localities - 1))
+    inst = data.draw(st.integers(0, instances - 1))
+    assert service.decode(service.position_id(ws, loc, inst)) == (ws, loc, inst)
+
+
+@given(layout=layouts)
+@settings(max_examples=40, deadline=None)
+def test_property_website_arcs_contiguous_and_disjoint(layout):
+    """Each website's positions form one contiguous identifier run, and
+    the runs of different websites never interleave."""
+    websites, localities, instances = layout
+    service = DRingKeyService(IdSpace(32), websites, localities, instances)
+    arcs = []
+    for ws in range(websites):
+        ids = sorted(
+            service.position_id(ws, loc, inst)
+            for loc in range(localities)
+            for inst in range(instances)
+        )
+        assert ids == list(range(ids[0], ids[0] + len(ids)))
+        arcs.append((ids[0], ids[-1]))
+    arcs.sort()
+    for (__, end_a), (start_b, __) in zip(arcs, arcs[1:]):
+        assert end_a < start_b
+
+
+@given(layout=layouts, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_same_website_predicate_consistent(layout, data):
+    websites, localities, instances = layout
+    service = DRingKeyService(IdSpace(32), websites, localities, instances)
+    ws_a = data.draw(st.integers(0, websites - 1))
+    ws_b = data.draw(st.integers(0, websites - 1))
+    a = service.position_id(ws_a, data.draw(st.integers(0, localities - 1)), 0)
+    b = service.position_id(ws_b, data.draw(st.integers(0, localities - 1)), 0)
+    assert service.same_website(a, b) == (ws_a == ws_b)

@@ -1,0 +1,87 @@
+"""Protocol tests for Squirrel's home-store (replication) strategy."""
+
+from repro.cdn.squirrel.homestore import HomeStorePeer, HomeStoreSquirrelSystem
+from repro.sim.clock import minutes, seconds
+
+from tests.cdn.conftest import CdnWorld
+
+
+def make_world(seed=1):
+    return CdnWorld(HomeStoreSquirrelSystem, seed=seed)
+
+
+def home_of(world, key):
+    system = world.system
+    key_id = system.ring.space.hash_value(system.catalog.url(key))
+    for member in system.ring.active_members():
+        pred = member.predecessor
+        if pred is None:
+            continue
+        if system.ring.space.in_half_open_right(key_id, pred.id, member.node_id):
+            return world.network.node(member.host.address)
+    return None
+
+
+def test_miss_replicates_object_at_home():
+    world = make_world()
+    peer = world.arrive(website=0)
+    record = world.query(peer, (0, 5))
+    assert record.outcome in ("miss_server", "miss_failed")
+    world.run(seconds(5))
+    home = home_of(world, (0, 5))
+    if home is not None and home is not peer:
+        assert (0, 5) in home.replica_store
+        # the home never requested this object: a forced replica
+        assert (0, 5) not in home.store
+
+
+def test_second_query_served_by_home_replica():
+    world = make_world()
+    first = world.arrive(website=0)
+    world.query(first, (0, 5))
+    world.run(seconds(5))
+    home = home_of(world, (0, 5))
+    second = world.arrive(website=0)
+    world.run_until(lambda: second.chord is not None and second.chord.joined)
+    record = world.query(second, (0, 5))
+    if home is not None and record.outcome == "hit_home":
+        assert record.transfer_ms == world.network.latency(
+            second.address, home.address
+        )
+
+
+def test_replicas_lost_when_home_fails():
+    """The same churn weakness as the directory variant, on content."""
+    world = make_world()
+    peer = world.arrive(website=0)
+    world.query(peer, (0, 5))
+    world.run(seconds(5))
+    home = home_of(world, (0, 5))
+    if home is None or home is peer:
+        return
+    home.crash()
+    world.run(minutes(5))
+    new_home = home_of(world, (0, 5))
+    if new_home is not None:
+        assert (0, 5) not in new_home.replica_store
+
+
+def test_forced_replica_accounting():
+    world = make_world()
+    peer = world.arrive(website=0)
+    world.query(peer, (0, 5))
+    world.query(peer, (0, 6))
+    world.run(seconds(10))
+    assert world.system.total_forced_replicas() >= 0
+
+
+def test_replica_store_does_not_survive_sessions():
+    world = make_world()
+    peer = world.arrive(website=0)
+    peer.replica_store.add((0, 9))
+    peer.crash()
+    assert peer.replica_store == set()
+    peer.begin_session()
+    assert (0, 9) not in peer.replica_store
+    # but the *interest* cache does survive (same browser cache)
+    assert isinstance(peer, HomeStorePeer)

@@ -1,0 +1,129 @@
+"""Tests for the keyword-search extension (paper section 7 future work)."""
+
+import pytest
+
+from repro.cdn.flower.search import KeywordSearchEngine, KeywordSpace
+from repro.errors import CDNError
+from repro.sim.clock import seconds
+
+from tests.cdn.conftest import CdnWorld
+
+
+class TestKeywordSpace:
+    def test_validation(self):
+        with pytest.raises(CDNError):
+            KeywordSpace(num_keywords=0)
+        with pytest.raises(CDNError):
+            KeywordSpace(min_keywords=0)
+        with pytest.raises(CDNError):
+            KeywordSpace(min_keywords=3, max_keywords=2)
+
+    def test_keywords_deterministic(self):
+        space = KeywordSpace(num_keywords=30)
+        assert space.keywords_of((0, 5)) == space.keywords_of((0, 5))
+        assert KeywordSpace(30).keywords_of((0, 5)) == space.keywords_of((0, 5))
+
+    def test_keyword_count_in_bounds(self):
+        space = KeywordSpace(num_keywords=30, min_keywords=1, max_keywords=3)
+        for ws in range(3):
+            for index in range(50):
+                keywords = space.keywords_of((ws, index))
+                assert 1 <= len(keywords) <= 3
+                assert keywords <= set(space.all_keywords())
+
+    def test_matches(self):
+        space = KeywordSpace(20)
+        key = (1, 7)
+        keyword = next(iter(space.keywords_of(key)))
+        assert space.matches(key, keyword)
+        non_keywords = set(space.all_keywords()) - space.keywords_of(key)
+        assert not space.matches(key, next(iter(non_keywords)))
+
+
+class TestEngineOverIndex:
+    def test_search_index_finds_providers(self):
+        space = KeywordSpace(10)
+        engine = KeywordSearchEngine(space)
+        key = (0, 3)
+        keyword = next(iter(space.keywords_of(key)))
+        matches = engine.search_index({key: {42}}, set(), 99, keyword)
+        assert (key, 42) in matches
+
+    def test_own_store_included(self):
+        space = KeywordSpace(10)
+        engine = KeywordSearchEngine(space)
+        key = (0, 3)
+        keyword = next(iter(space.keywords_of(key)))
+        matches = engine.search_index({}, {key}, 99, keyword)
+        assert matches == [(key, 99)]
+
+    def test_max_results_cap(self):
+        space = KeywordSpace(1)  # every object matches kw0
+        engine = KeywordSearchEngine(space, max_results=3)
+        index = {(0, i): {i} for i in range(10)}
+        assert len(engine.search_index(index, set(), 99, "kw0")) == 3
+
+    def test_invalid_max_results(self):
+        with pytest.raises(CDNError):
+            KeywordSearchEngine(KeywordSpace(5), max_results=0)
+
+
+class TestPetalSearch:
+    def make_search_world(self):
+        world = CdnWorld()
+        world.system.search_engine = KeywordSearchEngine(
+            KeywordSpace(num_keywords=8)
+        )
+        return world
+
+    def test_search_requires_engine(self):
+        world = CdnWorld()
+        peer = world.arrive(website=0)
+        with pytest.raises(CDNError):
+            peer.search("kw0", lambda matches: None)
+
+    def test_content_peer_searches_via_directory(self):
+        world = self.make_search_world()
+        space = world.system.search_engine.space
+        holder = world.arrive(website=0, locality=0)
+        world.query(holder, (0, 5))
+        world.run(seconds(10))  # push lands in the directory-index
+        querier = world.arrive(website=0, locality=0)
+        querier.locality = holder.locality
+        world.query(querier, (0, 9))  # join the petal
+        keyword = next(iter(space.keywords_of((0, 5))))
+        results = []
+        querier.search(keyword, results.append)
+        world.run(seconds(10))
+        assert results, "search reply missing"
+        assert any(key == (0, 5) for key, __ in results[0])
+
+    def test_directory_answers_locally(self):
+        world = self.make_search_world()
+        space = world.system.search_engine.space
+        directory = world.directory_of(0, 0)
+        directory.store.add((0, 5))
+        keyword = next(iter(space.keywords_of((0, 5))))
+        results = []
+        directory.search(keyword, results.append)
+        assert results[0] == [((0, 5), directory.address)]
+
+    def test_unregistered_peer_gets_nothing(self):
+        world = self.make_search_world()
+        peer = world.arrive(website=0)
+        results = []
+        peer.search("kw0", results.append)
+        assert results == [[]]
+
+    def test_search_of_unknown_keyword_is_empty(self):
+        world = self.make_search_world()
+        holder = world.arrive(website=0, locality=0)
+        world.query(holder, (0, 5))
+        world.run(seconds(10))
+        space = world.system.search_engine.space
+        absent = set(space.all_keywords()) - space.keywords_of((0, 5))
+        directory = world.directory_of(0, 0)
+        results = []
+        directory.search(next(iter(absent)), results.append)
+        matched_keys = {key for key, __ in results[0]}
+        assert (0, 5) not in matched_keys

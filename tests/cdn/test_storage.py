@@ -1,0 +1,71 @@
+"""Unit tests for the content store and push-threshold accounting."""
+
+from repro.cdn.storage import ContentStore
+
+
+def test_empty_store():
+    store = ContentStore()
+    assert len(store) == 0
+    assert (0, 1) not in store
+    assert store.change_fraction() == 0.0
+    assert not store.should_push(0.5)
+
+
+def test_add_and_contains():
+    store = ContentStore()
+    assert store.add((0, 1))
+    assert (0, 1) in store
+    assert not store.add((0, 1))  # duplicate: no change
+    assert len(store) == 1
+
+
+def test_initial_content_counts_as_changes():
+    store = ContentStore([(0, 1), (0, 2)])
+    assert len(store) == 2
+    assert store.changes_since_push == 2
+    assert store.should_push(0.5)
+
+
+def test_keys_returns_copy():
+    store = ContentStore([(0, 1)])
+    keys = store.keys()
+    keys.add((9, 9))
+    assert (9, 9) not in store
+
+
+def test_held_indexes_filters_by_website():
+    store = ContentStore([(0, 1), (0, 3), (1, 2)])
+    assert store.held_indexes(0) == {1, 3}
+    assert store.held_indexes(1) == {2}
+    assert store.held_indexes(5) == set()
+
+
+def test_first_object_always_triggers_push():
+    store = ContentStore()
+    store.add((0, 1))
+    assert store.change_fraction() == 1.0
+    assert store.should_push(0.5)
+
+
+def test_push_threshold_cycle():
+    """Paper section 5.1: push when changes reach 50% of the pushed size."""
+    store = ContentStore()
+    store.add((0, 1))
+    store.add((0, 2))
+    store.mark_pushed()           # directory saw 2 objects
+    assert not store.should_push(0.5)
+    store.add((0, 3))             # 1 change / 2 pushed = 0.5 -> push
+    assert store.change_fraction() == 0.5
+    assert store.should_push(0.5)
+    store.mark_pushed()           # directory saw 3
+    store.add((0, 4))             # 1/3 < 0.5
+    assert not store.should_push(0.5)
+    store.add((0, 5))             # 2/3 >= 0.5
+    assert store.should_push(0.5)
+
+
+def test_mark_pushed_resets_changes():
+    store = ContentStore([(0, 1)])
+    store.mark_pushed()
+    assert store.changes_since_push == 0
+    assert store.change_fraction() == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for ring diagnostics."""
+
+from repro.dht.diagnostics import max_ownership_imbalance, ownership_spans, ring_health
+from repro.sim.clock import minutes
+
+from tests.dht.conftest import ChordWorld
+
+
+def test_empty_ring_health():
+    world = ChordWorld()
+    health = ring_health(world.ring)
+    assert health.members == 0
+    assert health.healthy
+    assert ownership_spans(world.ring) == []
+    assert max_ownership_imbalance(world.ring) is None
+
+
+def test_warm_ring_is_perfectly_healthy():
+    world = ChordWorld(seed=3)
+    world.warm_ring(sorted(world.sim.rng("ids").sample(range(2**16), 20)))
+    health = ring_health(world.ring)
+    assert health.members == 20
+    assert health.successor_consistency == 1.0
+    assert health.predecessor_consistency == 1.0
+    assert health.stale_finger_fraction == 0.0
+    assert health.healthy
+    assert "100.0%" in health.render()
+
+
+def test_failure_degrades_then_maintenance_heals():
+    world = ChordWorld(seed=5)
+    hosts = world.warm_ring(sorted(world.sim.rng("ids").sample(range(2**16), 16)))
+    for host in hosts[:4]:
+        host.fail()
+    degraded = ring_health(world.ring)
+    assert degraded.members == 12
+    assert degraded.successor_consistency < 1.0 or degraded.stale_finger_fraction > 0.0
+    world.sim.run(until=minutes(20))
+    healed = ring_health(world.ring)
+    assert healed.successor_consistency >= degraded.successor_consistency
+    assert healed.successor_consistency >= 0.9
+
+
+def test_ownership_spans_sum_to_space():
+    world = ChordWorld(seed=7)
+    world.warm_ring([10, 1000, 30000, 60000])
+    spans = ownership_spans(world.ring)
+    assert len(spans) == 4
+    assert sum(spans) == 2**16
+
+
+def test_ownership_imbalance_detects_hotspot():
+    world = ChordWorld(seed=9)
+    # three nodes clustered together + the huge arc owned by the first
+    world.warm_ring([0, 10, 20])
+    imbalance = max_ownership_imbalance(world.ring)
+    assert imbalance is not None
+    assert imbalance > 2.0  # one member owns nearly the whole circle

@@ -1,0 +1,132 @@
+"""Unit and property tests for ring arithmetic -- Chord's foundation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.idspace import IdSpace
+from repro.errors import DHTError
+
+SPACE = IdSpace(8)  # small space: 0..255, exercises wrap-around heavily
+ids = st.integers(0, SPACE.size - 1)
+
+
+def test_bits_validated():
+    with pytest.raises(DHTError):
+        IdSpace(0)
+    with pytest.raises(DHTError):
+        IdSpace(200)
+
+
+def test_size():
+    assert IdSpace(8).size == 256
+    assert IdSpace(32).size == 2**32
+
+
+def test_contains():
+    assert SPACE.contains(0)
+    assert SPACE.contains(255)
+    assert not SPACE.contains(256)
+    assert not SPACE.contains(-1)
+
+
+def test_hash_in_range_and_stable():
+    space = IdSpace(16)
+    h = space.hash_value("website-3/object-17")
+    assert 0 <= h < space.size
+    assert h == space.hash_value("website-3/object-17")
+    assert h != space.hash_value("website-3/object-18")
+
+
+def test_add_wraps():
+    assert SPACE.add(250, 10) == 4
+    assert SPACE.add(4, -10) == 250
+
+
+def test_finger_start():
+    assert SPACE.finger_start(0, 0) == 1
+    assert SPACE.finger_start(0, 7) == 128
+    assert SPACE.finger_start(200, 7) == (200 + 128) % 256
+    with pytest.raises(DHTError):
+        SPACE.finger_start(0, 8)
+
+
+def test_distance():
+    assert SPACE.distance(10, 20) == 10
+    assert SPACE.distance(20, 10) == 246
+    assert SPACE.distance(7, 7) == 0
+
+
+def test_in_open_simple():
+    assert SPACE.in_open(5, 0, 10)
+    assert not SPACE.in_open(0, 0, 10)
+    assert not SPACE.in_open(10, 0, 10)
+
+
+def test_in_open_wrapping():
+    assert SPACE.in_open(250, 200, 10)
+    assert SPACE.in_open(5, 200, 10)
+    assert not SPACE.in_open(100, 200, 10)
+
+
+def test_in_open_degenerate_full_circle():
+    assert SPACE.in_open(5, 7, 7)
+    assert not SPACE.in_open(7, 7, 7)
+
+
+def test_half_open_right_includes_endpoint():
+    assert SPACE.in_half_open_right(10, 0, 10)
+    assert not SPACE.in_half_open_right(0, 0, 10)
+    assert SPACE.in_half_open_right(3, 250, 10)
+    # single-node ring owns everything
+    assert SPACE.in_half_open_right(42, 7, 7)
+
+
+def test_half_open_left_includes_endpoint():
+    assert SPACE.in_half_open_left(0, 0, 10)
+    assert not SPACE.in_half_open_left(10, 0, 10)
+    assert SPACE.in_half_open_left(42, 7, 7)
+
+
+@given(x=ids, a=ids, b=ids)
+@settings(max_examples=300, deadline=None)
+def test_open_interval_matches_walk(x, a, b):
+    """(a, b) must equal the set reached walking clockwise from a to b."""
+    if a == b:
+        expected = x != a
+    else:
+        walk = set()
+        current = SPACE.add(a, 1)
+        while current != b:
+            walk.add(current)
+            current = SPACE.add(current, 1)
+        expected = x in walk
+    assert SPACE.in_open(x, a, b) == expected
+
+
+@given(x=ids, a=ids, b=ids)
+@settings(max_examples=200, deadline=None)
+def test_half_open_right_consistent_with_open(x, a, b):
+    if a != b:
+        assert SPACE.in_half_open_right(x, a, b) == (SPACE.in_open(x, a, b) or x == b)
+
+
+@given(x=ids, a=ids, b=ids)
+@settings(max_examples=200, deadline=None)
+def test_interval_partition(x, a, b):
+    """For a != b, exactly one of: x in (a,b), x in [b,a), x == a."""
+    if a == b:
+        return
+    memberships = [
+        SPACE.in_open(x, a, b),
+        SPACE.in_half_open_left(x, b, a),
+        x == a,
+    ]
+    assert sum(bool(m) for m in memberships) == 1
+
+
+@given(a=ids, b=ids)
+@settings(max_examples=200, deadline=None)
+def test_distance_antisymmetric(a, b):
+    if a != b:
+        assert SPACE.distance(a, b) + SPACE.distance(b, a) == SPACE.size

@@ -1,0 +1,81 @@
+"""Unit tests for the experiment configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+
+
+def test_paper_defaults_match_table_1():
+    config = ExperimentConfig.paper()
+    assert config.population == 3000
+    assert config.peer_pool_factor == 1.3
+    assert config.mean_uptime_min == 60.0
+    assert config.duration_hours == 24.0
+    assert config.num_websites == 100
+    assert config.objects_per_website == 500
+    assert config.num_active_websites == 6
+    assert config.num_localities == 6
+    assert (config.latency_min_ms, config.latency_max_ms) == (10.0, 500.0)
+    assert config.query_interval_min == 6.0
+    assert config.gossip_period_min == 60.0
+    assert config.push_threshold == 0.5
+
+
+def test_num_identities_is_pool_factor_times_population():
+    config = ExperimentConfig.paper(population=3000)
+    assert config.num_identities == 3900
+
+
+def test_duration_ms():
+    assert ExperimentConfig.paper().duration_ms == 24 * 3_600_000
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ExperimentConfig(population=0)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(peer_pool_factor=0.5)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(duration_hours=0)
+    with pytest.raises(ConfigError):
+        ExperimentConfig(topology="mesh")
+    with pytest.raises(ConfigError):
+        ExperimentConfig(num_websites=5, num_active_websites=6)
+
+
+def test_seed_population_must_fit_pool():
+    with pytest.raises(ConfigError):
+        # 100 websites x 6 localities = 600 seeds > 130 identities
+        ExperimentConfig(population=100)
+
+
+def test_scaled_preserves_protocol_periods():
+    config = ExperimentConfig.scaled()
+    assert config.query_interval_min == 6.0
+    assert config.gossip_period_min == 60.0
+    assert config.push_threshold == 0.5
+    assert config.num_websites < 100  # but the world is smaller
+
+
+def test_scaled_overrides():
+    config = ExperimentConfig.scaled(population=100, num_websites=5)
+    assert config.population == 100
+    assert config.num_websites == 5
+
+
+def test_replace():
+    config = ExperimentConfig.paper()
+    changed = config.replace(population=2000)
+    assert changed.population == 2000
+    assert config.population == 3000  # frozen original untouched
+
+
+def test_protocol_params_derivation():
+    config = ExperimentConfig.paper()
+    params = config.protocol_params()
+    assert params.query_interval_ms == 6 * 60_000
+    assert params.gossip_period_ms == 60 * 60_000
+    assert params.keepalive_period_ms == params.gossip_period_ms
+    assert params.dring.bits == config.chord_bits
+    assert params.dring.rpc_timeout_ms > 2 * config.latency_max_ms

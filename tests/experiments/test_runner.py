@@ -1,0 +1,99 @@
+"""Tests for world construction and end-to-end experiment runs."""
+
+import pytest
+
+from repro.cdn.flower.system import FlowerSystem
+from repro.cdn.petalup.system import PetalUpSystem
+from repro.cdn.squirrel.system import SquirrelSystem
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_world, run_experiment
+
+TINY = ExperimentConfig.scaled(
+    population=60,
+    duration_hours=1.5,
+    num_websites=4,
+    num_active_websites=2,
+    num_localities=2,
+    objects_per_website=30,
+)
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ConfigError):
+        build_world("gnutella", TINY)
+
+
+def test_build_world_flower():
+    world = build_world("flower", TINY, seed=3)
+    assert isinstance(world.system, FlowerSystem)
+    assert len(world.system.seed_identities) == 8  # 4 websites x 2 localities
+    assert world.churn.online_count == 8
+    assert len(world.system.ring.members()) == 8
+
+
+def test_build_world_squirrel():
+    world = build_world("squirrel", TINY, seed=3)
+    assert isinstance(world.system, SquirrelSystem)
+    assert len(world.system.ring.members()) == 8
+
+
+def test_build_world_petalup_fills_defaults():
+    world = build_world("petalup", TINY, seed=3)
+    assert isinstance(world.system, PetalUpSystem)
+    assert world.config.directory_load_limit is not None
+    assert world.config.max_instances >= 2
+
+
+def test_uniform_topology_ablation_builds():
+    config = TINY.replace(topology="uniform")
+    world = build_world("flower", config, seed=3)
+    world.run(until_ms=60_000.0)
+    assert world.system.online_peers > 0
+
+
+def test_run_experiment_produces_result():
+    result = run_experiment("flower", TINY, seed=5)
+    assert result.protocol == "flower"
+    assert result.queries > 0
+    assert 0.0 <= result.hit_ratio <= 1.0
+    assert result.mean_lookup_latency_ms >= 0.0
+    assert result.mean_transfer_ms >= 0.0
+    assert result.arrivals > 0
+    assert result.events_executed > 0
+    assert sum(result.outcome_counts.values()) == result.queries
+    assert result.extra["directories"] >= 0
+
+
+def test_run_experiment_is_deterministic():
+    a = run_experiment("flower", TINY, seed=11)
+    b = run_experiment("flower", TINY, seed=11)
+    assert a.queries == b.queries
+    assert a.hit_ratio == b.hit_ratio
+    assert a.mean_lookup_latency_ms == b.mean_lookup_latency_ms
+    assert a.outcome_counts == b.outcome_counts
+    assert a.events_executed == b.events_executed
+
+
+def test_different_seeds_differ():
+    a = run_experiment("flower", TINY, seed=1)
+    b = run_experiment("flower", TINY, seed=2)
+    assert (a.queries, a.hit_ratio) != (b.queries, b.hit_ratio)
+
+
+def test_result_serialization_roundtrip():
+    import json
+
+    result = run_experiment("squirrel", TINY, seed=5)
+    payload = json.loads(result.to_json())
+    assert payload["protocol"] == "squirrel"
+    assert payload["queries"] == result.queries
+    assert payload["extra"]["ring_size"] >= 0
+    assert isinstance(payload["hit_ratio_curve"], list)
+
+
+def test_summary_line_contains_metrics():
+    result = run_experiment("flower", TINY, seed=5)
+    line = result.summary_line()
+    assert "flower" in line
+    assert "hit=" in line and "lookup=" in line

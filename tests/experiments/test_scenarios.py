@@ -1,0 +1,67 @@
+"""Tests for the programmatic figure/table builders."""
+
+import json
+
+import pytest
+
+from repro.experiments import scenarios
+from repro.experiments.config import ExperimentConfig
+
+TINY = ExperimentConfig.scaled(
+    population=80,
+    duration_hours=3.0,
+    num_websites=4,
+    num_active_websites=2,
+    num_localities=2,
+    objects_per_website=25,
+)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return scenarios.fig3_hit_ratio(TINY, seed=13)
+
+
+def test_fig3_structure(fig3):
+    assert len(fig3["flower"]) == 3   # one point per hour
+    assert len(fig3["squirrel"]) == 3
+    assert set(fig3["final"]) == {"flower", "squirrel"}
+    assert fig3["crossover_hour"] is None or 1.0 <= fig3["crossover_hour"] <= 3.0
+    names = [name for name, __ in fig3["shape_checks"]]
+    assert "fig3_flower_wins_finally" in names
+
+
+def test_fig3_serializable(fig3):
+    json.dumps(fig3)  # must not raise
+
+
+def test_fig4_buckets_partition():
+    data = scenarios.fig4_lookup_latency(TINY, seed=13)
+    for protocol in ("flower", "squirrel"):
+        total = sum(data[protocol].values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert "<=150" in data[protocol]
+        assert ">1200" in data[protocol]
+    assert data["means_ms"]["flower"] < data["means_ms"]["squirrel"]
+
+
+def test_fig5_buckets_partition():
+    data = scenarios.fig5_transfer_distance(TINY, seed=13)
+    for protocol in ("flower", "squirrel"):
+        assert sum(data[protocol].values()) == pytest.approx(1.0, abs=1e-6)
+    assert data["means_ms"]["flower"] < data["means_ms"]["squirrel"]
+
+
+def test_table2_rows_and_factors():
+    data = scenarios.table2_scalability(
+        [60, 80],
+        seed=13,
+        config_factory=lambda population: TINY.replace(
+            population=population, duration_hours=2.0
+        ),
+    )
+    assert len(data["rows"]) == 4
+    assert {row["approach"] for row in data["rows"]} == {"flower", "squirrel"}
+    assert data["lookup_factor_at_max_p"] > 1.0
+    assert len(data["flower_hit_trend"]) == 2
+    json.dumps(data)

@@ -1,0 +1,134 @@
+"""Protocol tests for the Cyclon shuffle over the simulated network."""
+
+from repro.gossip.cyclon import CyclonProtocol
+from repro.gossip.view import Contact, PartialView
+from repro.net.topology import UniformRandomTopology
+from repro.net.transport import Network, NetworkNode
+from repro.sim.clock import minutes, seconds
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+class GossipPeer(NetworkNode):
+    """Test peer: a view + a Cyclon protocol + optional piggyback data."""
+
+    def __init__(self, network, label=None):
+        super().__init__(network)
+        self.label = label
+        self.view = PartialView(owner=self.address)
+        self.received_data = []
+        self.dead_seen = []
+        self.protocol = CyclonProtocol(
+            self,
+            self.view,
+            network.sim.rng(f"cyclon-{self.address}"),
+            shuffle_size=4,
+            local_data=lambda: {"label": self.label},
+            on_peer_data=lambda src, data: self.received_data.append((src, data)),
+            on_contact_dead=self.dead_seen.append,
+        )
+
+    def handle_gossip_shuffle(self, message):
+        return self.protocol.handle_shuffle(message)
+
+
+def make_world(n_peers, seed=1):
+    sim = Simulator(seed=seed)
+    network = Network(sim, UniformRandomTopology(seed=seed, latency_max_ms=100.0))
+    peers = [GossipPeer(network, label=f"p{i}") for i in range(n_peers)]
+    return sim, network, peers
+
+
+def connect_line(peers):
+    """Bootstrap: each peer initially knows only the previous one."""
+    for previous, peer in zip(peers, peers[1:]):
+        peer.view.add(Contact(previous.address))
+
+
+def run_rounds(sim, peers, rounds, period=seconds(10)):
+    for peer in peers:
+        PeriodicProcess(
+            sim,
+            period,
+            peer.protocol.gossip_round,
+            initial_delay=sim.rng("phase").uniform(0, period),
+        )
+    sim.run(until=rounds * period + 1)
+
+
+def test_single_exchange_merges_views():
+    sim, __, peers = make_world(2)
+    a, b = peers
+    a.view.add(Contact(b.address, age=3))
+    a.protocol.gossip_round()
+    sim.run(until=seconds(5))
+    assert a.protocol.exchanges_completed == 1
+    assert a.view.get(b.address).age == 0          # refreshed on reply
+    assert a.address in b.view                     # b learnt about a
+    assert b.view.get(a.address).age == 0
+
+
+def test_piggybacked_data_flows_both_ways():
+    sim, __, peers = make_world(2)
+    a, b = peers
+    a.view.add(Contact(b.address))
+    a.protocol.gossip_round()
+    sim.run(until=seconds(5))
+    assert (b.address, {"label": "p1"}) in a.received_data
+    assert (a.address, {"label": "p0"}) in b.received_data
+
+
+def test_gossip_round_with_empty_view_is_noop():
+    sim, network, peers = make_world(1)
+    peers[0].protocol.gossip_round()
+    sim.run(until=seconds(5))
+    assert network.messages_sent == 0
+    assert peers[0].protocol.rounds_started == 1
+
+
+def test_dead_target_evicted_and_reported():
+    sim, __, peers = make_world(2)
+    a, b = peers
+    a.view.add(Contact(b.address))
+    b.fail()
+    a.protocol.gossip_round()
+    sim.run(until=seconds(10))
+    assert b.address not in a.view
+    assert a.dead_seen == [b.address]
+    assert a.protocol.evictions == 1
+
+
+def test_membership_converges_from_line_bootstrap():
+    """Starting from a line, every view should fill with petal members."""
+    sim, __, peers = make_world(12, seed=5)
+    connect_line(peers)
+    run_rounds(sim, peers, rounds=25)
+    addresses = {p.address for p in peers}
+    for peer in peers:
+        known = set(peer.view.addresses())
+        assert len(known) >= 6                 # views grew well beyond the line
+        assert known <= addresses - {peer.address}
+
+
+def test_views_self_heal_after_mass_failure():
+    sim, __, peers = make_world(14, seed=7)
+    connect_line(peers)
+    run_rounds(sim, peers, rounds=15)
+    dead = peers[:4]
+    for peer in dead:
+        peer.fail()
+    # keep gossiping; processes of dead peers no-op because host is dead
+    sim.run(until=sim.now + minutes(10))
+    dead_addresses = {p.address for p in dead}
+    for peer in peers[4:]:
+        assert not dead_addresses & set(peer.view.addresses())
+
+
+def test_dead_initiator_does_not_gossip():
+    sim, network, peers = make_world(2)
+    a, b = peers
+    a.view.add(Contact(b.address))
+    a.fail()
+    a.protocol.gossip_round()
+    sim.run(until=seconds(5))
+    assert network.messages_sent == 0

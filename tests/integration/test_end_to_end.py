@@ -1,0 +1,109 @@
+"""End-to-end integration tests: whole-system behaviour under churn.
+
+These run short scaled experiments (same code paths as the paper's setup)
+and assert the *qualitative* results the paper reports -- petals form, hit
+ratios grow, Flower-CDN's locality awareness shows up in the metrics, the
+D-ring survives churn.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_world, run_experiment
+from repro.sim.clock import hours
+
+SMALL = ExperimentConfig.scaled(
+    population=120,
+    duration_hours=6.0,
+    num_websites=6,
+    num_active_websites=2,
+    num_localities=2,
+    objects_per_website=40,
+)
+
+
+@pytest.fixture(scope="module")
+def flower_result():
+    return run_experiment("flower", SMALL, seed=9)
+
+
+@pytest.fixture(scope="module")
+def squirrel_result():
+    return run_experiment("squirrel", SMALL, seed=9)
+
+
+class TestFlowerEndToEnd:
+    def test_queries_flow_and_hit_ratio_positive(self, flower_result):
+        assert flower_result.queries > 200
+        assert flower_result.hit_ratio > 0.2
+
+    def test_hit_ratio_grows_over_time(self, flower_result):
+        """Figure 3's Flower-CDN curve climbs as petals populate."""
+        curve = [ratio for __, ratio in flower_result.hit_ratio_curve]
+        assert curve[-1] > curve[0]
+        assert curve[-1] > 0.3
+
+    def test_all_hit_kinds_occur(self, flower_result):
+        assert flower_result.outcome_counts.get("hit_directory", 0) > 0
+        assert flower_result.outcome_counts.get("hit_summary", 0) > 0
+
+    def test_population_converges(self, flower_result):
+        online = flower_result.extra["online_peers"]
+        assert 0.7 * SMALL.population <= online <= 1.3 * SMALL.population
+
+    def test_dring_survives_churn(self, flower_result):
+        """Every directory peer dies roughly hourly, yet D-ring persists."""
+        assert flower_result.extra["directories"] > 0
+
+
+class TestLocalityAwareness:
+    def test_flower_transfers_are_local(self, flower_result, squirrel_result):
+        """Figure 5: Flower serves content from nearby providers while
+        Squirrel redirects to random network locations."""
+        assert flower_result.mean_transfer_ms < squirrel_result.mean_transfer_ms
+
+    def test_flower_lookups_are_faster(self, flower_result, squirrel_result):
+        """Figure 4 / Table 2: full-DHT navigation costs Squirrel dearly."""
+        assert (
+            flower_result.mean_lookup_latency_ms
+            < 0.6 * squirrel_result.mean_lookup_latency_ms
+        )
+
+
+class TestChurnRobustness:
+    def test_dring_positions_reoccupied_after_kill(self):
+        """Mass-kill every directory peer: recovery (section 5.2) must
+        repopulate D-ring from content peers and new clients."""
+        world = build_world("flower", SMALL, seed=21)
+        world.run(until_ms=hours(2))
+        system = world.system
+        killed = 0
+        for peer in list(system.peers.values()):
+            if peer.alive and peer.is_directory:
+                peer.crash()
+                killed += 1
+        assert killed > 0
+        assert system.directory_count() == 0
+        world.run(until_ms=hours(5))
+        assert system.directory_count() > killed // 2
+
+    def test_queries_keep_working_after_mass_directory_failure(self):
+        world = build_world("flower", SMALL, seed=22)
+        world.run(until_ms=hours(2))
+        system = world.system
+        for peer in list(system.peers.values()):
+            if peer.alive and peer.is_directory:
+                peer.crash()
+        before = len(system.metrics)
+        hits_before = system.metrics.hits
+        world.run(until_ms=hours(6))
+        assert len(system.metrics) > before
+        assert system.metrics.hits > hits_before
+
+
+class TestDeterminism:
+    def test_full_runs_identical(self):
+        tiny = SMALL.replace(duration_hours=2.0)
+        a = run_experiment("squirrel", tiny, seed=33)
+        b = run_experiment("squirrel", tiny, seed=33)
+        assert a.to_dict() == b.to_dict()

@@ -1,0 +1,65 @@
+"""Integration test: maintenance overhead comparison.
+
+Paper section 3: petals "are maintained via low-cost gossip techniques"
+while Squirrel keeps *every* peer inside the DHT, paying ring stabilization
+for the whole population.  Flower-CDN's per-peer maintenance traffic must
+therefore be substantially lower.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.overhead import OverheadReport
+
+CONFIG = ExperimentConfig.scaled(
+    population=120,
+    duration_hours=4.0,
+    num_websites=6,
+    num_active_websites=2,
+    num_localities=2,
+    objects_per_website=30,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for protocol in ("flower", "squirrel"):
+        result = run_experiment(protocol, CONFIG, seed=31)
+        out[protocol] = OverheadReport(
+            result.extra["message_counts"], result.queries
+        )
+    return out
+
+
+def test_categories_cover_all_traffic(reports):
+    for protocol, report in reports.items():
+        assert report.categories["other"] == 0, (
+            protocol,
+            {k: v for k, v in report.kind_counts.items()
+             if k not in ()},
+        )
+
+
+def test_flower_maintenance_cheaper_than_squirrel(reports):
+    flower = reports["flower"].maintenance_per_query
+    squirrel = reports["squirrel"].maintenance_per_query
+    assert flower < 0.6 * squirrel, (flower, squirrel)
+
+
+def test_flower_gossip_is_low_rate(reports):
+    """Hourly gossip/keepalive per content peer: over 4 hours with ~120
+    peers that is at most a few thousand messages."""
+    gossip = reports["flower"].kind_counts.get("gossip.shuffle", 0)
+    keepalive = reports["flower"].kind_counts.get("flower.keepalive", 0)
+    assert 0 < gossip + keepalive < 4000
+
+
+def test_squirrel_dominated_by_ring_maintenance(reports):
+    report = reports["squirrel"]
+    chord = sum(
+        count for kind, count in report.kind_counts.items()
+        if kind.startswith("chord.")
+    )
+    assert chord > 0.7 * report.total

@@ -1,0 +1,98 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.errors import CDNError
+from repro.metrics.collector import (
+    ALL_OUTCOMES,
+    HIT_OUTCOMES,
+    MISS_OUTCOMES,
+    MetricsCollector,
+    QueryRecord,
+)
+
+
+def rec(outcome, time=1.0, website=0, locality=0, lookup=100.0, transfer=50.0, hops=3):
+    return QueryRecord(
+        time=time,
+        website=website,
+        object_key=(website, 1),
+        locality=locality,
+        outcome=outcome,
+        lookup_latency_ms=lookup,
+        transfer_ms=transfer,
+        hops=hops,
+    )
+
+
+def test_outcome_taxonomy_is_partition():
+    assert HIT_OUTCOMES & MISS_OUTCOMES == frozenset()
+    assert HIT_OUTCOMES | MISS_OUTCOMES == ALL_OUTCOMES
+
+
+def test_is_hit():
+    assert rec("hit_summary").is_hit
+    assert rec("hit_directory").is_hit
+    assert not rec("miss_server").is_hit
+
+
+def test_unknown_outcome_rejected():
+    collector = MetricsCollector()
+    with pytest.raises(CDNError):
+        collector.record(rec("hit_magic"))
+
+
+def test_hit_ratio():
+    collector = MetricsCollector()
+    assert collector.hit_ratio() == 0.0
+    for outcome in ["hit_summary", "hit_directory", "miss_server", "miss_failed"]:
+        collector.record(rec(outcome))
+    assert collector.hit_ratio() == 0.5
+    assert collector.hits == 2
+    assert collector.misses == 2
+    assert len(collector) == 4
+
+
+def test_outcome_count():
+    collector = MetricsCollector()
+    collector.record(rec("hit_summary"))
+    collector.record(rec("hit_summary"))
+    assert collector.outcome_count("hit_summary") == 2
+    assert collector.outcome_count("miss_server") == 0
+
+
+def test_means():
+    collector = MetricsCollector()
+    collector.record(rec("hit_summary", lookup=100.0, transfer=10.0))
+    collector.record(rec("miss_server", lookup=300.0, transfer=30.0))
+    assert collector.mean_lookup_latency_ms() == 200.0
+    assert collector.mean_transfer_ms() == 20.0
+    assert collector.mean_lookup_latency_ms(hits_only=True) == 100.0
+    assert collector.mean_transfer_ms(hits_only=True) == 10.0
+
+
+def test_means_empty():
+    collector = MetricsCollector()
+    assert collector.mean_lookup_latency_ms() == 0.0
+    assert collector.mean_transfer_ms() == 0.0
+
+
+def test_projections():
+    collector = MetricsCollector()
+    collector.record(rec("hit_summary", lookup=1.0))
+    collector.record(rec("miss_server", lookup=2.0))
+    assert collector.lookup_latencies() == [1.0, 2.0]
+    assert collector.lookup_latencies(hits_only=True) == [1.0]
+    assert collector.transfer_distances() == [50.0, 50.0]
+
+
+def test_filtered():
+    collector = MetricsCollector()
+    collector.record(rec("hit_summary", website=1, locality=2))
+    collector.record(rec("miss_server", website=1, locality=3))
+    collector.record(rec("hit_directory", website=2, locality=2))
+    assert len(collector.filtered(website=1)) == 2
+    assert len(collector.filtered(locality=2)) == 2
+    assert len(collector.filtered(website=1, locality=2)) == 1
+    assert len(collector.filtered(outcomes=HIT_OUTCOMES)) == 2
+    assert len(collector.filtered(website=9)) == 0

@@ -1,0 +1,46 @@
+"""Unit tests for text table rendering."""
+
+import pytest
+
+from repro.metrics.report import render_table
+
+
+def test_basic_table():
+    text = render_table(
+        ["P", "approach", "hit ratio"],
+        [[2000, "Squirrel", 0.35], [2000, "Flower-CDN", 0.63]],
+        title="Table 2",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Table 2"
+    assert "approach" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "Squirrel" in lines[3]
+    assert "0.35" in lines[3]
+    assert "Flower-CDN" in lines[4]
+
+
+def test_column_alignment():
+    text = render_table(["a", "b"], [["x", "yy"], ["xxxx", "y"]])
+    lines = text.splitlines()
+    # first column padded to the widest cell ("xxxx"), so the second column
+    # starts at offset 6 on every row
+    assert lines[2].index("yy") == 6
+    assert lines[3].index("y") == 6
+
+
+def test_float_formatting():
+    text = render_table(["v"], [[1503.4], [0.724], [12.6], [0.0]])
+    assert "1503" in text
+    assert "0.724" in text
+    assert "12.60" in text
+
+
+def test_row_width_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_empty_rows():
+    text = render_table(["a", "b"], [])
+    assert "a" in text and "b" in text

@@ -1,0 +1,55 @@
+"""Tests for per-kind message accounting (overhead analysis raw data)."""
+
+from repro.net.topology import ExplicitTopology
+from repro.net.transport import Network, NetworkNode
+from repro.sim.engine import Simulator
+
+
+class Responder(NetworkNode):
+    def handle_ping(self, message):
+        return {"ok": True}
+
+    def handle_note(self, message):
+        return None
+
+
+def make_pair():
+    sim = Simulator(seed=1)
+    network = Network(sim, ExplicitTopology([[0.0, 10.0], [10.0, 0.0]]))
+    return sim, network, Responder(network), Responder(network)
+
+
+def test_kind_counts_track_sends_and_rpcs():
+    sim, network, a, b = make_pair()
+    a.send(b.address, "note")
+    a.send(b.address, "note")
+    a.rpc(b.address, "ping", {}, on_reply=lambda p: None)
+    sim.run()
+    assert network.kind_counts["note"] == 2
+    assert network.kind_counts["ping"] == 1
+
+
+def test_dead_sender_not_counted():
+    sim, network, a, b = make_pair()
+    a.fail()
+    a.send(b.address, "note")
+    sim.run()
+    assert "note" not in network.kind_counts
+
+
+def test_replies_not_double_counted_by_kind():
+    """The RPC reply increments messages_sent but not the request's kind
+    (replies are not independent protocol messages)."""
+    sim, network, a, b = make_pair()
+    a.rpc(b.address, "ping", {}, on_reply=lambda p: None)
+    sim.run()
+    assert network.kind_counts["ping"] == 1
+    assert network.messages_sent == 2  # request + reply
+
+
+def test_counts_survive_many_kinds():
+    sim, network, a, b = make_pair()
+    for kind in ("ping", "note", "ping", "note", "ping"):
+        a.send(b.address, kind)
+    sim.run()
+    assert network.kind_counts == {"ping": 3, "note": 2}

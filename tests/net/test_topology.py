@@ -1,0 +1,184 @@
+"""Unit and property tests for the latency topologies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.net.topology import ClusteredTopology, ExplicitTopology, UniformRandomTopology
+
+
+def make_clustered(seed=1, **kwargs):
+    return ClusteredTopology(random.Random(seed), **kwargs)
+
+
+class TestClusteredTopology:
+    def test_requires_valid_parameters(self):
+        with pytest.raises(TopologyError):
+            make_clustered(num_clusters=0)
+        with pytest.raises(TopologyError):
+            make_clustered(latency_min_ms=0.0)
+        with pytest.raises(TopologyError):
+            make_clustered(latency_min_ms=500.0, latency_max_ms=10.0)
+
+    def test_register_and_knows(self):
+        topo = make_clustered()
+        assert not topo.knows(0)
+        topo.register(0)
+        assert topo.knows(0)
+
+    def test_double_register_rejected(self):
+        topo = make_clustered()
+        topo.register(0)
+        with pytest.raises(TopologyError):
+            topo.register(0)
+
+    def test_unknown_address_rejected(self):
+        topo = make_clustered()
+        with pytest.raises(TopologyError):
+            topo.position(5)
+        with pytest.raises(TopologyError):
+            topo.cluster_of(5)
+
+    def test_self_latency_is_zero(self):
+        topo = make_clustered()
+        topo.register(0)
+        assert topo.latency(0, 0) == 0.0
+
+    def test_latency_symmetric_and_in_range(self):
+        topo = make_clustered()
+        for address in range(50):
+            topo.register(address)
+        for a in range(0, 50, 7):
+            for b in range(1, 50, 11):
+                if a == b:
+                    continue
+                lat = topo.latency(a, b)
+                assert lat == topo.latency(b, a)
+                assert 10.0 <= lat <= 500.0
+
+    def test_intra_cluster_latency_below_inter_cluster(self):
+        topo = make_clustered(seed=3)
+        for address in range(300):
+            topo.register(address)
+        intra, inter = [], []
+        for a in range(100):
+            for b in range(a + 1, 100):
+                lat = topo.latency(a, b)
+                if topo.cluster_of(a) == topo.cluster_of(b):
+                    intra.append(lat)
+                else:
+                    inter.append(lat)
+        assert intra and inter
+        mean_intra = sum(intra) / len(intra)
+        mean_inter = sum(inter) / len(inter)
+        # clusters must create a strong locality signal (several-fold gap)
+        assert mean_intra * 3 < mean_inter
+
+    def test_positions_inside_unit_square(self):
+        topo = make_clustered(seed=9)
+        for address in range(200):
+            topo.register(address)
+            x, y = topo.position(address)
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_all_clusters_populated(self):
+        topo = make_clustered(seed=2, num_clusters=6)
+        for address in range(600):
+            topo.register(address)
+        used = {topo.cluster_of(a) for a in range(600)}
+        assert used == set(range(6))
+
+    def test_deterministic_given_seed(self):
+        topo_a = make_clustered(seed=42)
+        topo_b = make_clustered(seed=42)
+        for address in range(20):
+            topo_a.register(address)
+            topo_b.register(address)
+        assert all(
+            topo_a.latency(a, b) == topo_b.latency(a, b)
+            for a in range(20)
+            for b in range(20)
+        )
+
+
+class TestUniformRandomTopology:
+    def test_parameters_validated(self):
+        with pytest.raises(TopologyError):
+            UniformRandomTopology(seed=1, latency_min_ms=500, latency_max_ms=10)
+
+    def test_requires_registration(self):
+        topo = UniformRandomTopology(seed=1)
+        topo.register(0)
+        with pytest.raises(TopologyError):
+            topo.latency(0, 1)
+
+    def test_double_register_rejected(self):
+        topo = UniformRandomTopology(seed=1)
+        topo.register(3)
+        with pytest.raises(TopologyError):
+            topo.register(3)
+
+    @given(a=st.integers(0, 500), b=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_stable_in_range(self, a, b):
+        topo = UniformRandomTopology(seed=7)
+        topo.register(a)
+        if b != a:
+            topo.register(b)
+        lat = topo.latency(a, b)
+        assert lat == topo.latency(b, a)
+        assert lat == topo.latency(a, b)  # stable across calls
+        if a == b:
+            assert lat == 0.0
+        else:
+            assert 10.0 <= lat <= 500.0
+
+    def test_no_locality_structure(self):
+        """Mean latency should sit near the middle of the range."""
+        topo = UniformRandomTopology(seed=11)
+        for address in range(80):
+            topo.register(address)
+        lats = [topo.latency(a, b) for a in range(80) for b in range(a + 1, 80)]
+        mean = sum(lats) / len(lats)
+        assert 220.0 < mean < 290.0  # uniform(10, 500) has mean 255
+
+
+class TestExplicitTopology:
+    MATRIX = [
+        [0.0, 10.0, 20.0],
+        [10.0, 0.0, 30.0],
+        [20.0, 30.0, 0.0],
+    ]
+
+    def test_exact_latencies(self):
+        topo = ExplicitTopology(self.MATRIX)
+        for address in range(3):
+            topo.register(address)
+        assert topo.latency(0, 1) == 10.0
+        assert topo.latency(1, 2) == 30.0
+        assert topo.latency(2, 0) == 20.0
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(TopologyError):
+            ExplicitTopology([[0.0, 1.0], [2.0, 0.0]])
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(TopologyError):
+            ExplicitTopology([[1.0, 2.0], [2.0, 0.0]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(TopologyError):
+            ExplicitTopology([[0.0, 1.0]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(TopologyError):
+            ExplicitTopology([[0.0, -1.0], [-1.0, 0.0]])
+
+    def test_rejects_address_outside_matrix(self):
+        topo = ExplicitTopology(self.MATRIX)
+        with pytest.raises(TopologyError):
+            topo.register(3)

@@ -1,0 +1,71 @@
+"""Property-based tests for the event engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@given(delays=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=80))
+@settings(max_examples=120, deadline=None)
+def test_property_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for index, delay in enumerate(delays):
+        sim.schedule(delay, lambda i=index: fired.append((sim.now, i)))
+    sim.run()
+    times = [t for t, __ in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+
+
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_property_equal_times_fire_in_schedule_order(delays):
+    """Ties break by scheduling order -- determinism's cornerstone."""
+    sim = Simulator()
+    fired = []
+    shared_delay = 50.0
+    for index in range(len(delays)):
+        sim.schedule(shared_delay, lambda i=index: fired.append(i))
+    sim.run()
+    assert fired == list(range(len(delays)))
+
+
+@given(
+    delays=st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=40),
+    horizon=st.floats(0.0, 1000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_run_until_half_open(delays, horizon):
+    """run(until=h) fires exactly the events strictly before h."""
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run(until=horizon)
+    assert all(delay < horizon for delay in fired)
+    assert sorted(fired) == sorted(d for d in delays if d < horizon)
+    assert sim.now == horizon
+
+
+@given(
+    delays=st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=40),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_cancelled_events_never_fire(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(delay, lambda i=index: fired.append(i))
+        for index, delay in enumerate(delays)
+    ]
+    cancelled = set()
+    for index, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            sim.cancel(handle)
+            cancelled.add(index)
+    sim.run()
+    assert not (set(fired) & cancelled)
+    assert set(fired) == set(range(len(delays))) - cancelled

@@ -1,0 +1,106 @@
+"""Unit tests for periodic processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, desynchronized_start
+
+
+def test_ticks_at_fixed_period():
+    sim = Simulator()
+    times = []
+    PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+    sim.run(until=45.0)
+    assert times == [10.0, 20.0, 30.0, 40.0]
+
+
+def test_initial_delay_zero_ticks_immediately():
+    sim = Simulator()
+    times = []
+    PeriodicProcess(sim, 10.0, lambda: times.append(sim.now), initial_delay=0.0)
+    sim.run(until=25.0)
+    assert times == [0.0, 10.0, 20.0]
+
+
+def test_custom_initial_delay():
+    sim = Simulator()
+    times = []
+    PeriodicProcess(sim, 10.0, lambda: times.append(sim.now), initial_delay=3.0)
+    sim.run(until=25.0)
+    assert times == [3.0, 13.0, 23.0]
+
+
+def test_cancel_stops_future_ticks():
+    sim = Simulator()
+    times = []
+    process = PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+    sim.schedule(25.0, process.cancel)
+    sim.run(until=100.0)
+    assert times == [10.0, 20.0]
+    assert not process.active
+    assert process.ticks == 2
+
+
+def test_callback_may_cancel_its_own_process():
+    sim = Simulator()
+    process_box = []
+
+    def tick():
+        if sim.now >= 20.0:
+            process_box[0].cancel()
+
+    process_box.append(PeriodicProcess(sim, 10.0, tick))
+    sim.run(until=100.0)
+    assert process_box[0].ticks == 2
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    process = PeriodicProcess(sim, 10.0, lambda: None)
+    process.cancel()
+    process.cancel()
+    sim.run(until=50.0)
+    assert process.ticks == 0
+
+
+def test_invalid_period_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        PeriodicProcess(sim, 0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        PeriodicProcess(sim, -5.0, lambda: None)
+
+
+def test_jitter_requires_rng():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        PeriodicProcess(sim, 10.0, lambda: None, jitter=0.1)
+
+
+def test_jitter_bounds():
+    sim = Simulator(seed=3)
+    with pytest.raises(SimulationError):
+        PeriodicProcess(sim, 10.0, lambda: None, jitter=1.0, rng=sim.rng("j"))
+
+
+def test_jittered_gaps_stay_within_band():
+    sim = Simulator(seed=5)
+    times = []
+    PeriodicProcess(
+        sim, 100.0, lambda: times.append(sim.now), jitter=0.2, rng=sim.rng("jit")
+    )
+    sim.run(until=5000.0)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert gaps, "expected several ticks"
+    assert all(80.0 <= gap <= 120.0 for gap in gaps)
+    # jitter actually varies the gaps
+    assert len(set(round(g, 6) for g in gaps)) > 1
+
+
+def test_desynchronized_start_in_range():
+    sim = Simulator(seed=11)
+    rng = sim.rng("start")
+    starts = [desynchronized_start(60.0, rng) for _ in range(200)]
+    assert all(0.0 <= s < 60.0 for s in starts)
+    assert max(starts) > 40.0 and min(starts) < 20.0  # actually spread out

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--population", "60", "--hours", "1", "--seed", "3"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "gnutella"])
+
+
+def test_run_command(capsys):
+    assert main(["run", "flower", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "flower" in out
+    assert "hit=" in out
+    assert "outcome" in out
+
+
+def test_run_with_plot(capsys):
+    assert main(["run", "flower", "--plot", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "cumulative hit ratio" in out
+
+
+def test_run_writes_json(tmp_path, capsys):
+    path = tmp_path / "result.json"
+    assert main(["run", "squirrel", *FAST, "--json", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert payload["protocol"] == "squirrel"
+    assert "hit_ratio" in payload
+
+
+def test_compare_command(capsys):
+    code = main(["compare", *FAST])
+    out = capsys.readouterr().out
+    assert "paper shape checks" in out
+    assert code in (0, 1)  # shape checks may fail legitimately at 1 sim-hour
+
+
+def test_sweep_command(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--populations",
+                "60",
+                "--protocols",
+                "flower",
+                "--hours",
+                "1",
+                "--seed",
+                "3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "scalability sweep" in out
+    assert "flower" in out
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead", "flower", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "message overhead" in out
+    assert "maintenance messages per query" in out

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example's ``main()`` is imported and executed in-process (no
+subprocess: same interpreter, same installed package).  The slowest
+example (churn_resilience, ~6 experiments) is exercised with a marker so
+it can be deselected; the rest run in seconds.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart")
+    out = capsys.readouterr().out
+    assert "hit ratio" in out
+    assert "hit ratio over time" in out
+
+
+def test_petalup_scaling_runs(capsys):
+    run_example("petalup_scaling")
+    out = capsys.readouterr().out
+    assert "directory instances" in out
+
+
+def test_keyword_search_runs(capsys):
+    run_example("keyword_search")
+    out = capsys.readouterr().out
+    assert "petal search results" in out
+    assert "matches" in out
+
+
+def test_flash_crowd_runs(capsys):
+    run_example("flash_crowd")
+    out = capsys.readouterr().out
+    assert "origin-server relief" in out
+
+
+def test_flash_crowd_surge_runs(capsys):
+    run_example("flash_crowd_surge")
+    out = capsys.readouterr().out
+    assert "surge and its absorption" in out
+    assert "surge arrivals" in out
+
+
+@pytest.mark.slow
+def test_churn_resilience_runs(capsys):
+    run_example("churn_resilience")
+    out = capsys.readouterr().out
+    assert "shorter uptimes hurt Squirrel" in out

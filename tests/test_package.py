@@ -1,0 +1,63 @@
+"""Package-level tests: exports, lazy loading, error taxonomy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CDNError,
+    ConfigError,
+    DHTError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    TransportError,
+    WorkloadError,
+)
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_lazy_exports_resolve():
+    assert repro.ExperimentConfig is not None
+    assert callable(repro.run_experiment)
+    assert repro.ExperimentResult is not None
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.no_such_symbol
+
+
+def test_every_exception_is_a_repro_error():
+    for exc in (
+        SimulationError,
+        TopologyError,
+        TransportError,
+        DHTError,
+        CDNError,
+        ConfigError,
+        WorkloadError,
+    ):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+
+def test_all_list_is_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_subpackage_exports():
+    from repro import analysis, cdn, dht, experiments, gossip, metrics, net, sim, workload
+
+    assert sim.Simulator
+    assert net.Network
+    assert dht.ChordNode
+    assert gossip.CyclonProtocol
+    assert workload.ChurnModel
+    assert cdn.CdnSystem
+    assert metrics.MetricsCollector
+    assert experiments.ExperimentConfig
+    assert analysis.ComparisonReport

@@ -1,0 +1,118 @@
+"""Unit and statistical tests for the flash-crowd arrival process."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.clock import hours, minutes
+from repro.sim.engine import Simulator
+from repro.workload.flashcrowd import FlashCrowdChurnModel, FlashCrowdProfile
+
+
+def make_profile(**overrides):
+    defaults = dict(
+        start_ms=hours(1),
+        ramp_ms=minutes(10),
+        peak_multiplier=5.0,
+        decay_ms=minutes(30),
+        hot_website=0,
+    )
+    defaults.update(overrides)
+    return FlashCrowdProfile(**defaults)
+
+
+class TestProfile:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_profile(peak_multiplier=0.5)
+        with pytest.raises(WorkloadError):
+            make_profile(ramp_ms=0)
+        with pytest.raises(WorkloadError):
+            make_profile(decay_ms=0)
+        with pytest.raises(WorkloadError):
+            make_profile(hot_interest_probability=1.5)
+
+    def test_intensity_before_surge_is_one(self):
+        profile = make_profile()
+        assert profile.intensity(0.0) == 1.0
+        assert profile.intensity(hours(1) - 1) == 1.0
+
+    def test_intensity_ramps_linearly_to_peak(self):
+        profile = make_profile()
+        peak_time = hours(1) + minutes(10)
+        assert profile.intensity(hours(1)) == pytest.approx(1.0)
+        assert profile.intensity(hours(1) + minutes(5)) == pytest.approx(3.0)
+        assert profile.intensity(peak_time) == pytest.approx(5.0)
+
+    def test_intensity_decays_back_to_one(self):
+        profile = make_profile()
+        peak_time = hours(1) + minutes(10)
+        later = profile.intensity(peak_time + minutes(30))
+        assert 1.0 < later < 5.0
+        assert profile.intensity(peak_time + hours(10)) == 1.0
+
+    def test_in_surge_windows(self):
+        profile = make_profile()
+        assert not profile.in_surge(0.0)
+        assert profile.in_surge(hours(1) + minutes(10))
+        assert not profile.in_surge(hours(20))
+
+
+class TestFlashCrowdChurn:
+    def make_model(self, sim, profile, on_surge=None, population=60, pool_factor=1.5):
+        return FlashCrowdChurnModel(
+            sim,
+            sim.rng("churn"),
+            num_identities=int(population * pool_factor),
+            mean_uptime_ms=minutes(60),
+            target_population=population,
+            on_arrival=lambda identity: None,
+            on_departure=lambda identity: None,
+            profile=profile,
+            on_surge_interest=on_surge,
+        )
+
+    def test_arrival_rate_spikes_during_surge(self):
+        sim = Simulator(seed=5)
+        profile = make_profile(start_ms=hours(2), peak_multiplier=6.0,
+                               decay_ms=hours(1))
+        # a deep identity pool so the surge is not capped by pool exhaustion
+        model = self.make_model(sim, profile, population=80, pool_factor=8.0)
+        model.start()
+        sim.run(until=hours(2))
+        baseline = model.arrivals  # arrivals in 2 pre-surge hours
+        sim.run(until=hours(4))
+        surge_window = model.arrivals - baseline
+        # the 2 surge hours must see clearly more arrivals than the 2
+        # baseline hours (peak 6x with decay over an hour)
+        assert surge_window > 1.5 * baseline
+
+    def test_surge_interest_callback_fires(self):
+        sim = Simulator(seed=7)
+        hot = []
+        profile = make_profile(start_ms=minutes(30), peak_multiplier=8.0,
+                               decay_ms=hours(2), hot_interest_probability=1.0)
+        model = self.make_model(sim, profile, on_surge=hot.append)
+        model.start()
+        sim.run(until=hours(3))
+        assert model.surge_arrivals > 0
+        assert len(hot) > 0
+        assert len(hot) <= model.arrivals
+
+    def test_no_surge_interest_before_start(self):
+        sim = Simulator(seed=9)
+        hot = []
+        profile = make_profile(start_ms=hours(50))
+        model = self.make_model(sim, profile, on_surge=hot.append)
+        model.start()
+        sim.run(until=hours(3))
+        assert hot == []
+        assert model.surge_arrivals == 0
+
+    def test_population_still_bounded_by_pool(self):
+        sim = Simulator(seed=11)
+        profile = make_profile(start_ms=minutes(5), peak_multiplier=20.0,
+                               decay_ms=hours(5))
+        model = self.make_model(sim, profile, population=40)
+        model.start()
+        sim.run(until=hours(2))
+        assert model.online_count <= model.num_identities

@@ -1,0 +1,85 @@
+"""Unit tests for per-peer query streams."""
+
+import random
+
+from repro.workload.queries import QueryStream
+from repro.workload.zipf import ZipfSampler
+
+
+def make_stream(n=20, website=3, held=None, seed=1):
+    return QueryStream(
+        website, ZipfSampler(n, 0.8), random.Random(seed), already_held=held
+    )
+
+
+def test_queries_target_own_website():
+    stream = make_stream(website=7)
+    key = stream.next_object()
+    assert key[0] == 7
+
+
+def test_never_repeats_an_object():
+    stream = make_stream(n=20)
+    seen = set()
+    while True:
+        key = stream.next_object()
+        if key is None:
+            break
+        assert key not in seen
+        seen.add(key)
+    assert len(seen) == 20
+    assert stream.exhausted
+
+
+def test_already_held_objects_are_skipped():
+    held = {0, 1, 2}
+    stream = make_stream(n=10, held=held)
+    drawn = set()
+    while not stream.exhausted:
+        key = stream.next_object()
+        if key is None:
+            break
+        drawn.add(key[1])
+    assert not drawn & held
+    assert drawn == set(range(10)) - held
+
+
+def test_exhausted_returns_none():
+    stream = make_stream(n=3)
+    for __ in range(3):
+        assert stream.next_object() is not None
+    assert stream.exhausted
+    assert stream.next_object() is None
+
+
+def test_issued_counter():
+    stream = make_stream(n=5)
+    stream.next_object()
+    stream.next_object()
+    assert stream.issued == 2
+
+
+def test_popular_objects_requested_earlier_on_average():
+    """Zipf bias: across many peers, rank 0 should be drawn before rank n-1."""
+    first_positions = {0: [], 19: []}
+    for seed in range(200):
+        stream = make_stream(n=20, seed=seed)
+        order = []
+        while not stream.exhausted:
+            key = stream.next_object()
+            if key is None:
+                break
+            order.append(key[1])
+        for rank in first_positions:
+            first_positions[rank].append(order.index(rank))
+    mean_pos_popular = sum(first_positions[0]) / 200
+    mean_pos_rare = sum(first_positions[19]) / 200
+    assert mean_pos_popular < mean_pos_rare
+
+
+def test_rejection_fallback_covers_tail():
+    """Even with nearly everything held, the stream finds the leftovers."""
+    stream = make_stream(n=50, held=set(range(49)))
+    key = stream.next_object()
+    assert key == (3, 49)
+    assert stream.exhausted
