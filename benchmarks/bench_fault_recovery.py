@@ -1,0 +1,179 @@
+"""Fault recovery: partition-and-heal and bursty loss, Flower vs the seed.
+
+The paper's robustness claim (sections 1 and 6.3) is argued through churn
+alone; this bench subjects both systems to the harder faults the
+fault-injection subsystem (:mod:`repro.net.faults`) provides and reports
+the recovery metrics the claim implies:
+
+- **partition and heal** -- cut locality 0 off the backbone for two
+  simulated hours.  Flower-CDN's per-locality directories keep serving the
+  cut locality from inside, so its availability and hit ratio degrade less
+  than Squirrel's single global ring, and both numbers return to baseline
+  after the heal (time-to-recover is finite);
+- **bursty loss** -- a Gilbert-Elliott channel at ~10% stationary loss.
+  With the retry/backoff RPC layer enabled (the default) Flower's hit
+  ratio is strictly better than the seed's single-shot behaviour
+  (``rpc_retries=0``) at the same loss rate and seed.
+
+Always reduced scale: each test runs two full systems end-to-end (see the
+ablations note in bench_ablations.py).
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment, run_recovery_experiment
+from repro.metrics.report import render_table
+from repro.net.faults import BurstyLossSpec, PartitionSpec
+from repro.sim.clock import hours, minutes
+
+POPULATION = 150
+SEED = 17
+
+PARTITION_START = hours(3.0)
+PARTITION_HEAL = hours(5.0)
+
+
+def _partition_config() -> ExperimentConfig:
+    return ExperimentConfig.scaled(
+        population=POPULATION,
+        duration_hours=9.0,
+        num_websites=8,
+        num_active_websites=2,
+        num_localities=3,
+        objects_per_website=60,
+        fault_schedule=(
+            PartitionSpec(
+                locality=0, start_ms=PARTITION_START, heal_ms=PARTITION_HEAL
+            ),
+        ),
+    )
+
+
+def test_partition_and_heal_recovery(benchmark):
+    config = _partition_config()
+
+    def run():
+        return {
+            protocol: run_recovery_experiment(
+                protocol,
+                config,
+                fault_start_ms=PARTITION_START,
+                fault_end_ms=PARTITION_HEAL,
+                seed=SEED,
+                window_ms=minutes(30),
+            )
+            for protocol in ("flower", "squirrel")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for protocol, (result, recovery) in results.items():
+        ttr = recovery.time_to_recover_ms()
+        rows.append(
+            [
+                protocol,
+                f"{recovery.pre.hit_ratio:.3f}",
+                f"{recovery.during.hit_ratio:.3f}",
+                f"{recovery.post.hit_ratio:.3f}",
+                f"{recovery.during.availability:.1%}",
+                f"{recovery.availability:.1%}",
+                "never" if ttr is None else f"{ttr / 60_000.0:.0f} min",
+                result.extra["drop_counts"].get("partition", 0),
+            ]
+        )
+    emit_report(
+        "fault_recovery_partition",
+        render_table(
+            [
+                "protocol",
+                "pre hit",
+                "fault hit",
+                "post hit",
+                "fault avail",
+                "avail",
+                "TTR",
+                "partition drops",
+            ],
+            rows,
+            title=(
+                f"partition of locality 0 "
+                f"({PARTITION_START / 3_600_000.0:.0f}h-"
+                f"{PARTITION_HEAL / 3_600_000.0:.0f}h), "
+                f"P={config.population}, seed={SEED}"
+            ),
+        ),
+    )
+
+    __, flower = results["flower"]
+    __, squirrel = results["squirrel"]
+    # The partition actually bit: both systems dropped cross-cut traffic.
+    for result, __rec in results.values():
+        assert result.extra["drop_counts"].get("partition", 0) > 0
+    # Flower's in-locality directories ride the cut better than the
+    # single global ring on both fault-phase metrics.
+    assert flower.during.availability > squirrel.during.availability
+    assert flower.during.hit_ratio > squirrel.during.hit_ratio
+    # And Flower comes back: the windowed hit ratio returns to within
+    # epsilon of the pre-fault baseline after the heal.
+    assert flower.time_to_recover_ms() is not None
+    assert flower.post.availability >= 0.99
+
+
+#: Gilbert-Elliott channel at 10% stationary loss (0.05 / (0.05 + 0.45)),
+#: mean burst length 1 / 0.45 ~ 2.2 deliveries.
+BURSTY_10PCT = BurstyLossSpec(p_good_to_bad=0.05, p_bad_to_good=0.45)
+
+
+def test_retries_beat_single_shot_under_bursty_loss(benchmark):
+    assert abs(BURSTY_10PCT.stationary_loss_rate - 0.10) < 1e-9
+    config = ExperimentConfig.scaled(
+        population=POPULATION,
+        duration_hours=8.0,
+        num_websites=6,
+        num_active_websites=2,
+        num_localities=3,
+        objects_per_website=40,
+        fault_schedule=(BURSTY_10PCT,),
+    )
+
+    def run():
+        return {
+            "flower (retries=2)": run_experiment("flower", config, seed=4),
+            "flower (single-shot)": run_experiment(
+                "flower", config.replace(rpc_retries=0), seed=4
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{result.hit_ratio:.3f}",
+            f"{result.mean_lookup_latency_ms:.0f} ms",
+            result.extra["drop_counts"].get("loss", 0),
+            result.messages_sent,
+        ]
+        for name, result in results.items()
+    ]
+    emit_report(
+        "fault_recovery_bursty_loss",
+        render_table(
+            ["variant", "hit ratio", "lookup", "lost messages", "sent"],
+            rows,
+            title=(
+                f"Gilbert-Elliott loss at "
+                f"{BURSTY_10PCT.stationary_loss_rate:.0%} stationary rate "
+                f"(P={config.population}, {config.duration_hours:.0f}h)"
+            ),
+        ),
+    )
+
+    retries = results["flower (retries=2)"]
+    single = results["flower (single-shot)"]
+    # The acceptance bar: retry/backoff strictly beats the seed's
+    # single-shot RPC behaviour at the same loss rate and seed.
+    assert retries.hit_ratio > single.hit_ratio
+    # Retries cost extra traffic -- the win is not free.
+    assert retries.messages_sent > single.messages_sent

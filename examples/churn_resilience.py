@@ -7,14 +7,24 @@ plateaus; Flower-CDN's petals rebuild their directory peers from gossip
 and push messages, so it keeps climbing -- and the gap widens as uptimes
 shrink.
 
+Run with ``--seed N`` to re-roll every stochastic choice (churn, queries,
+topology); identical seeds reproduce identical tables.
+
 Runtime: ~1-2 minutes (six short experiments).
 """
+
+import argparse
+from typing import List, Optional
 
 from repro import ExperimentConfig, run_experiment
 from repro.metrics.report import render_table
 
 
-def main() -> None:
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=17, help="master RNG seed")
+    args = parser.parse_args(argv)
+
     base = ExperimentConfig.scaled(
         population=150,
         duration_hours=8.0,
@@ -27,8 +37,8 @@ def main() -> None:
     rows = []
     for uptime_min in (120.0, 60.0, 30.0):
         config = base.replace(mean_uptime_min=uptime_min)
-        flower = run_experiment("flower", config, seed=17)
-        squirrel = run_experiment("squirrel", config, seed=17)
+        flower = run_experiment("flower", config, seed=args.seed)
+        squirrel = run_experiment("squirrel", config, seed=args.seed)
         rows.append(
             [
                 f"{uptime_min:.0f} min",

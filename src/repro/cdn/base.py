@@ -76,6 +76,21 @@ class ProtocolParams:
         dring: Chord parameters of the D-ring (or Squirrel's global ring).
         squirrel_directory_capacity: per-object home-directory size
             (pointers to recent downloaders).
+        rpc_retries: per-call retry budget of directory-facing RPCs
+            (query / push / keepalive), via ``NetworkNode.retrying_rpc``;
+            0 restores the seed's single-shot timeout behaviour where one
+            lost message condemns the directory.
+        rpc_backoff_ms: base backoff between those retries (doubled per
+            attempt, deterministically jittered, capped).
+        dir_failure_threshold: consecutive exhausted-retry RPC failures
+            before a content peer declares its directory dead and starts
+            the replacement protocol (section 5.2.1); values > 1 make a
+            partition-stranded directory *suspect* first -- the peer keeps
+            serving from gossip-learnt summaries and re-probes rather than
+            electing a replacement that would race the heal.
+        push_queue_limit: bounded drop-oldest buffer of push/keepalive
+            updates queued while the directory is suspect; flushed
+            (coalesced to the newest full summary) once it answers again.
     """
 
     query_interval_ms: float = minutes(6)
@@ -93,6 +108,10 @@ class ProtocolParams:
     cache_capacity: Optional[int] = None
     dring: RingParams = field(default_factory=RingParams)
     squirrel_directory_capacity: int = 8
+    rpc_retries: int = 2
+    rpc_backoff_ms: float = 500.0
+    dir_failure_threshold: int = 2
+    push_queue_limit: int = 8
 
     def __post_init__(self) -> None:
         if self.query_interval_ms <= 0 or self.gossip_period_ms <= 0:
@@ -105,6 +124,12 @@ class ProtocolParams:
             raise CDNError("directory_load_limit must be >= 1 or None")
         if self.cache_capacity is not None and self.cache_capacity < 1:
             raise CDNError("cache_capacity must be >= 1 or None")
+        if self.rpc_retries < 0:
+            raise CDNError("rpc_retries must be >= 0")
+        if self.dir_failure_threshold < 1:
+            raise CDNError("dir_failure_threshold must be >= 1")
+        if self.push_queue_limit < 1:
+            raise CDNError("push_queue_limit must be >= 1")
 
 
 class BasePeer(NetworkNode):

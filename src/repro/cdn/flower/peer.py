@@ -35,8 +35,9 @@ Maintenance (section 5):
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.cdn.base import BasePeer
 from repro.cdn.flower.directory import DirectoryRole
@@ -104,6 +105,16 @@ class FlowerPeer(BasePeer):
         )
         self._gossip_process: Optional[PeriodicProcess] = None
         self._keepalive_process: Optional[PeriodicProcess] = None
+        # --- suspect-directory degradation (failure model, section 5.1) ---
+        # Consecutive directory RPCs whose whole retry budget was exhausted.
+        # While > 0 the directory is *suspect*: queries degrade to
+        # gossip-learnt summaries, pushes queue (drop-oldest) and a fast
+        # re-probe decides between recovery and declared failure.
+        self._dir_strikes = 0
+        self._reprobe_pending = False
+        self._pending_pushes: Deque[List[ObjectKey]] = deque(
+            maxlen=system.params.push_queue_limit
+        )
         # --- directory role ---
         self.directory: Optional[DirectoryRole] = None
         self._sweep_process: Optional[PeriodicProcess] = None
@@ -159,6 +170,9 @@ class FlowerPeer(BasePeer):
         self.peer_summaries.clear()
         self._recovering = False
         self._registering = False
+        self._dir_strikes = 0
+        self._reprobe_pending = False
+        self._pending_pushes.clear()
 
     @property
     def is_directory(self) -> bool:
@@ -259,6 +273,12 @@ class FlowerPeer(BasePeer):
         if info is None:
             self._scan_dring(key=key, started_at=started_at, instance=0, tries=0)
             return
+        if self._dir_suspect:
+            # Degraded mode: summaries were already tried; do not stall the
+            # query on a directory we currently cannot reach.  The re-probe
+            # chain decides whether it recovered or truly failed.
+            self._fetch_from_server(key, "miss_failed", started_at)
+            return
 
         def on_reply(payload: Dict[str, Any]) -> None:
             status = payload.get("status")
@@ -267,6 +287,7 @@ class FlowerPeer(BasePeer):
                 self._fetch_from_server(key, "miss_failed", started_at)
                 return
             info.age = 0
+            self._note_directory_alive(info)
             if status == "provider":
                 self._fetch_provider(
                     key, payload["provider"], "hit_directory", started_at
@@ -278,16 +299,12 @@ class FlowerPeer(BasePeer):
             else:
                 self._fetch_from_server(key, "miss_server", started_at)
 
-        def on_timeout() -> None:
-            self._on_directory_failure(info)
+        def on_give_up() -> None:
+            self._on_directory_strike(info)
             self._fetch_from_server(key, "miss_failed", started_at)
 
-        self.rpc(
-            info.address,
-            "flower.query",
-            {"key": key, "member": True},
-            on_reply,
-            on_timeout,
+        self._directory_rpc(
+            info, "flower.query", {"key": key, "member": True}, on_reply, on_give_up
         )
 
     def _ask_sibling(
@@ -461,12 +478,15 @@ class FlowerPeer(BasePeer):
             else:
                 self._fetch_from_server(key, "miss_server", started_at, hops)
 
-        self.rpc(
+        params = self.system.params
+        self.retrying_rpc(
             found.address,
             "flower.query",
             payload,
-            on_reply,
-            on_timeout=lambda: self._retry_scan(key, started_at, tries),
+            on_reply=on_reply,
+            on_give_up=lambda: self._retry_scan(key, started_at, tries),
+            retries=params.rpc_retries,
+            backoff_ms=params.rpc_backoff_ms,
         )
 
     def _retry_scan(
@@ -509,6 +529,8 @@ class FlowerPeer(BasePeer):
         if self.directory is not None:
             return  # we became a directory in the meantime
         self.dir_info = DirInfo(position, address, age=0)
+        self._dir_strikes = 0
+        self._pending_pushes.clear()
         for contact_address in reply.get("view_sample", []):
             if contact_address != self.address:
                 self.view.add(Contact(contact_address, age=0))
@@ -593,6 +615,8 @@ class FlowerPeer(BasePeer):
             if replaced:
                 # The slot changed hands: the replacement directory must
                 # learn our content to rebuild its index (section 5.2.2).
+                self._dir_strikes = 0
+                self._pending_pushes.clear()
                 self.store.reset_push_state()
                 if len(self.store):
                     self._push_to_directory()
@@ -611,20 +635,23 @@ class FlowerPeer(BasePeer):
         if info is None:
             self._register_with_petal()
             return
+        if self._dir_suspect:
+            return  # the re-probe chain owns contact attempts while suspect
         info.age += 1
 
         def on_reply(payload: Dict[str, Any]) -> None:
             if payload.get("status") == "ok":
                 info.age = 0
+                self._note_directory_alive(info)
             else:
                 self._on_directory_failure(info)
 
-        self.rpc(
-            info.address,
+        self._directory_rpc(
+            info,
             "flower.keepalive",
             {},
             on_reply,
-            on_timeout=lambda: self._on_directory_failure(info),
+            lambda: self._on_directory_strike(info),
         )
 
     def _push_to_directory(self) -> None:
@@ -632,20 +659,120 @@ class FlowerPeer(BasePeer):
         if info is None or not self.alive:
             return
         keys = sorted(self.store.keys())
+        if self._dir_suspect:
+            self._queue_push(keys)
+            return
 
         def on_reply(payload: Dict[str, Any]) -> None:
             if payload.get("status") == "ok":
                 self.store.mark_pushed()
                 info.age = 0
+                # This push carried the full key list, superseding anything
+                # queued while the directory was suspect.
+                self._pending_pushes.clear()
+                self._note_directory_alive(info)
             else:
                 self._on_directory_failure(info)
 
-        self.rpc(
+        def on_give_up() -> None:
+            self._queue_push(keys)
+            self._on_directory_strike(info)
+
+        self._directory_rpc(info, "flower.push", {"keys": keys}, on_reply, on_give_up)
+
+    # ----------------------------------------- suspect-directory degradation
+    @property
+    def _dir_suspect(self) -> bool:
+        """Directory currently unreachable but not yet declared failed."""
+        return self._dir_strikes > 0
+
+    def _directory_rpc(
+        self,
+        info: DirInfo,
+        kind: str,
+        payload: Dict[str, Any],
+        on_reply: Callable[[Dict[str, Any]], None],
+        on_give_up: Callable[[], None],
+    ) -> None:
+        """All directory-facing RPCs share the retry budget/backoff knobs."""
+        params = self.system.params
+        self.retrying_rpc(
             info.address,
-            "flower.push",
-            {"keys": keys},
-            on_reply,
-            on_timeout=lambda: self._on_directory_failure(info),
+            kind,
+            payload,
+            on_reply=on_reply,
+            on_give_up=on_give_up,
+            retries=params.rpc_retries,
+            backoff_ms=params.rpc_backoff_ms,
+        )
+
+    def _on_directory_strike(self, info: DirInfo) -> None:
+        """One directory RPC exhausted its whole retry budget.
+
+        Below ``dir_failure_threshold`` strikes the directory is only
+        *suspect* -- we keep serving queries from gossip-learnt summaries,
+        queue pushes, and schedule a fast re-probe.  At the threshold we
+        declare failure and race for the slot (section 5.2.1).
+        """
+        if not self.alive or self.dir_info is not info:
+            return
+        self._dir_strikes += 1
+        params = self.system.params
+        self.sim.emit(
+            "flower.directory_suspect",
+            peer=self.address,
+            position=info.position_id,
+            strikes=self._dir_strikes,
+        )
+        if self._dir_strikes >= params.dir_failure_threshold:
+            self._dir_strikes = 0
+            self._pending_pushes.clear()
+            self._on_directory_failure(info)
+            return
+        if not self._reprobe_pending:
+            self._reprobe_pending = True
+            self.sim.schedule(
+                params.scan_retry_delay_ms, self._reprobe_directory, info
+            )
+
+    def _reprobe_directory(self, info: DirInfo) -> None:
+        self._reprobe_pending = False
+        if not self.alive or self.dir_info is not info or not self._dir_suspect:
+            return
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if payload.get("status") == "ok":
+                info.age = 0
+                self._note_directory_alive(info)
+            else:
+                self._on_directory_failure(info)
+
+        self._directory_rpc(
+            info, "flower.keepalive", {}, on_reply, lambda: self._on_directory_strike(info)
+        )
+
+    def _note_directory_alive(self, info: DirInfo) -> None:
+        """Any successful directory contact clears suspicion and flushes
+        the queued pushes (coalesced: pushes carry the full key list, so
+        one fresh push supersedes everything queued during the outage)."""
+        if self._dir_strikes:
+            self._dir_strikes = 0
+            self.sim.emit(
+                "flower.directory_recovered",
+                peer=self.address,
+                position=info.position_id,
+            )
+        if self._pending_pushes:
+            self._pending_pushes.clear()
+            self.sim.emit("flower.push_flushed", peer=self.address)
+            self._push_to_directory()
+
+    def _queue_push(self, keys: List[ObjectKey]) -> None:
+        self._pending_pushes.append(keys)
+        self.sim.emit(
+            "flower.push_queued",
+            peer=self.address,
+            queued=len(self._pending_pushes),
         )
 
     def _on_evicted(self, keys) -> None:
@@ -673,6 +800,9 @@ class FlowerPeer(BasePeer):
         if self.dir_info is not info and self.dir_info is not None:
             return  # already re-pointed (gossip beat us to it)
         self.dir_info = None
+        self._dir_strikes = 0
+        self._reprobe_pending = False
+        self._pending_pushes.clear()
         self.sim.emit(
             "flower.directory_failure_detected",
             peer=self.address,

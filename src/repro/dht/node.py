@@ -616,13 +616,19 @@ class _Lookup:
         if node_id is not None:
             self._id_of[address] = node_id
         self.visited.add(address)
-        self.node.host.rpc(
+        params = self.node.ring.params
+        # Per-hop retries (capped backoff, deterministic jitter) so one
+        # transiently lost probe does not condemn a live hop; only after the
+        # retry budget is exhausted do we blame the node and backtrack.
+        self.node.host.retrying_rpc(
             address,
             "chord.probe",
             {"key": self.key, "exclude": list(self.exclude)[-16:]},
             on_reply=lambda payload: self._on_reply(address, payload),
-            on_timeout=lambda: self._on_timeout(address),
-            timeout_ms=self.node.ring.params.rpc_timeout_ms,
+            on_give_up=lambda: self._on_timeout(address),
+            timeout_ms=params.rpc_timeout_ms,
+            retries=params.probe_retries,
+            backoff_ms=params.retry_backoff_ms,
         )
 
     def _on_reply(self, address: Address, payload: Dict[str, Any]) -> None:

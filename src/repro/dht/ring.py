@@ -50,6 +50,11 @@ class RingParams:
             routing attempt (a forwarded message that hits a dead hop is
             simply lost; the origin retries after this long).
         recursive_retries: recursive routing attempts before giving up.
+        probe_retries: per-hop retry budget of iterative lookup probes
+            (``NetworkNode.retrying_rpc``); 0 restores the seed's
+            single-shot behaviour where one lost probe condemns the hop.
+        retry_backoff_ms: base backoff of those per-hop retries (doubled
+            per attempt, jittered, capped).
     """
 
     bits: int = 32
@@ -62,6 +67,8 @@ class RingParams:
     lookup_mode: str = "recursive"
     recursive_timeout_ms: float = 4000.0
     recursive_retries: int = 2
+    probe_retries: int = 1
+    retry_backoff_ms: float = 300.0
 
     def __post_init__(self) -> None:
         if self.successor_list_size < 1:
@@ -70,6 +77,8 @@ class RingParams:
             raise DHTError("invalid lookup limits")
         if self.lookup_mode not in ("recursive", "iterative"):
             raise DHTError(f"unknown lookup mode {self.lookup_mode!r}")
+        if self.probe_retries < 0:
+            raise DHTError("probe_retries must be >= 0")
 
 
 class ChordRing:

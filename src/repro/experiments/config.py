@@ -51,6 +51,17 @@ class ExperimentConfig:
         directory_load_limit / max_instances: PetalUp-CDN's split knobs
             (None / 1 = plain Flower-CDN).
         directory_collaboration: same-website directory collaboration.
+        rpc_retries: retry budget of directory-facing RPCs and (paired with
+            the dring's ``probe_retries``) Chord probes; 0 restores the
+            seed's single-shot behaviour.
+        fault_schedule: tuple of fault specs from :mod:`repro.net.faults`
+            (:class:`~repro.net.faults.BurstyLossSpec`,
+            :class:`~repro.net.faults.PartitionSpec`,
+            :class:`~repro.net.faults.LatencySpikeSpec`,
+            :class:`~repro.net.faults.MassFailureSpec`), applied by the
+            runner through a :class:`~repro.net.faults.FaultController`
+            on its own deterministic RNG stream.  Empty = no injected
+            faults (uniform ``message_loss_rate`` still applies).
     """
 
     population: int = 3000
@@ -77,8 +88,15 @@ class ExperimentConfig:
     directory_collaboration: bool = False
     peer_cache_capacity: Optional[int] = None
     message_loss_rate: float = 0.0
+    rpc_retries: int = 2
+    fault_schedule: tuple = ()
 
     def __post_init__(self) -> None:
+        if self.rpc_retries < 0:
+            raise ConfigError("rpc_retries must be >= 0")
+        if not isinstance(self.fault_schedule, tuple):
+            # Keep the config hashable (benchmark caches key on it).
+            object.__setattr__(self, "fault_schedule", tuple(self.fault_schedule))
         if self.population < 1:
             raise ConfigError("population must be positive")
         if not 0.0 <= self.message_loss_rate < 1.0:
@@ -122,11 +140,13 @@ class ExperimentConfig:
             max_instances=self.max_instances,
             directory_collaboration=self.directory_collaboration,
             cache_capacity=self.peer_cache_capacity,
+            rpc_retries=self.rpc_retries,
             dring=RingParams(
                 bits=self.chord_bits,
                 successor_list_size=self.chord_successor_list,
                 maintenance_period_ms=seconds(self.chord_maintenance_s),
                 rpc_timeout_ms=2.4 * self.latency_max_ms,
+                probe_retries=min(1, self.rpc_retries),
             ),
         )
 

@@ -23,6 +23,7 @@ from repro.cdn.squirrel.system import SquirrelSystem
 from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ExperimentResult
+from repro.net.faults import FaultController
 from repro.net.landmarks import LandmarkBinner
 from repro.net.topology import ClusteredTopology, Topology, UniformRandomTopology
 from repro.net.transport import Network, NetworkNode
@@ -52,6 +53,7 @@ class World:
     system: CdnSystem
     churn: ChurnModel
     config: ExperimentConfig
+    faults: Optional[FaultController] = None
 
     def run(self, until_ms: Optional[float] = None) -> None:
         """Advance the simulation (defaults to the configured horizon)."""
@@ -140,6 +142,15 @@ def build_world(
     for identity in getattr(system, "seed_identities", []):
         churn.seed_online(identity)
     churn.start()
+    faults: Optional[FaultController] = None
+    if config.fault_schedule:
+        # Dedicated "faults" RNG stream: injecting faults perturbs no other
+        # component's random sequence, so fault runs stay comparable with
+        # fault-free runs of the same seed.
+        faults = FaultController(
+            sim, network, rng=sim.rng("faults"), locality_of=binner.locality_of
+        )
+        faults.apply(config.fault_schedule)
     return World(
         sim=sim,
         topology=topology,
@@ -149,6 +160,7 @@ def build_world(
         system=system,
         churn=churn,
         config=config,
+        faults=faults,
     )
 
 
@@ -173,6 +185,7 @@ def run_experiment(
     extra = {
         "online_peers": system.online_peers,
         "message_counts": dict(world.network.kind_counts),
+        "drop_counts": dict(world.network.drop_counts),
     }
     if isinstance(system, FlowerSystem):
         extra["directories"] = system.directory_count()
@@ -192,3 +205,63 @@ def run_experiment(
         departures=world.churn.departures,
         extra=extra,
     )
+
+
+def run_recovery_experiment(
+    protocol: str,
+    config: ExperimentConfig,
+    fault_start_ms: float,
+    fault_end_ms: float,
+    seed: int = 0,
+    window_ms: Optional[float] = None,
+    epsilon: float = 0.05,
+):
+    """Run a fault experiment and measure how the protocol rides it out.
+
+    The config's ``fault_schedule`` defines *what* is injected; the
+    ``fault_start_ms`` / ``fault_end_ms`` pair tells the report which
+    window to treat as the fault phase (e.g. partition start and heal).
+
+    Returns:
+        ``(result, recovery)`` -- the usual
+        :class:`~repro.experiments.results.ExperimentResult` plus a
+        :class:`~repro.metrics.recovery.RecoveryReport`.
+    """
+    from repro.metrics.recovery import RecoveryReport, track_issued_queries
+
+    world = build_world(protocol, config, seed)
+    issued = track_issued_queries(world.sim)
+    world.run()
+    system = world.system
+    recovery = RecoveryReport(
+        system.metrics.records,
+        fault_start_ms=fault_start_ms,
+        fault_end_ms=fault_end_ms,
+        horizon_ms=config.duration_ms,
+        window_ms=window_ms if window_ms is not None else minutes(30),
+        issued_times=issued,
+        epsilon=epsilon,
+    )
+    extra = {
+        "online_peers": system.online_peers,
+        "message_counts": dict(world.network.kind_counts),
+        "drop_counts": dict(world.network.drop_counts),
+        "availability": recovery.availability,
+    }
+    if isinstance(system, FlowerSystem):
+        extra["directories"] = system.directory_count()
+    if isinstance(system, SquirrelSystem):
+        extra["ring_size"] = system.ring_size()
+    result = ExperimentResult.from_metrics(
+        protocol=protocol,
+        seed=seed,
+        population=config.population,
+        duration_hours=config.duration_hours,
+        metrics=system.metrics,
+        events_executed=world.sim.events_executed,
+        messages_sent=world.network.messages_sent,
+        arrivals=world.churn.arrivals,
+        departures=world.churn.departures,
+        extra=extra,
+    )
+    return result, recovery

@@ -13,12 +13,14 @@ The paper evaluates with three metrics:
 :mod:`repro.metrics.timeseries` produces the hit-ratio-over-time curve of
 Figure 3; :mod:`repro.metrics.distribution` produces the bucketed latency /
 distance distributions of Figures 4 and 5; :mod:`repro.metrics.report`
-renders Table-2-style text tables.
+renders Table-2-style text tables; :mod:`repro.metrics.recovery` measures
+availability and time-to-recover in fault-injection experiments.
 """
 
 from repro.metrics.collector import MetricsCollector, QueryRecord
 from repro.metrics.distribution import Distribution
 from repro.metrics.overhead import OverheadReport
+from repro.metrics.recovery import PhaseStats, RecoveryReport, track_issued_queries
 from repro.metrics.report import render_table
 from repro.metrics.timeseries import RatioSeries
 
@@ -28,5 +30,8 @@ __all__ = [
     "Distribution",
     "RatioSeries",
     "OverheadReport",
+    "PhaseStats",
+    "RecoveryReport",
+    "track_issued_queries",
     "render_table",
 ]

@@ -14,7 +14,7 @@ maintenance cost per query -- the number the goal is about:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from repro.metrics.report import render_table
 
@@ -48,14 +48,32 @@ def classify(kind: str) -> str:
 
 
 class OverheadReport:
-    """Aggregated view over a network's per-kind message counters."""
+    """Aggregated view over a network's per-kind message counters.
 
-    def __init__(self, kind_counts: Mapping[str, int], queries: int) -> None:
+    Args:
+        kind_counts: per-message-kind send counters (``Network.kind_counts``).
+        queries: number of queries served.
+        drop_counts: optional per-cause drop breakdown
+            (``Network.drop_counts``: loss / dead_dst / partition), so fault
+            experiments can attribute where their traffic went.
+    """
+
+    def __init__(
+        self,
+        kind_counts: Mapping[str, int],
+        queries: int,
+        drop_counts: Optional[Mapping[str, int]] = None,
+    ) -> None:
         self.kind_counts = dict(kind_counts)
         self.queries = queries
+        self.drop_counts: Dict[str, int] = dict(drop_counts or {})
         self.categories: Dict[str, int] = {"maintenance": 0, "query": 0, "other": 0}
         for kind, count in self.kind_counts.items():
             self.categories[classify(kind)] += count
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.drop_counts.values())
 
     @property
     def total(self) -> int:
@@ -102,4 +120,18 @@ class OverheadReport:
             f"maintenance messages per query: {self.maintenance_per_query:.1f}; "
             f"query-path messages per query: {self.query_messages_per_query:.1f}"
         )
-        return summary + "\n\n" + detail + "\n" + footer
+        report = summary + "\n\n" + detail + "\n" + footer
+        if self.total_dropped:
+            drops = render_table(
+                ["drop cause", "messages", "share"],
+                [
+                    [cause, count, f"{count / self.total_dropped:.1%}"]
+                    for cause, count in sorted(
+                        self.drop_counts.items(), key=lambda kv: -kv[1]
+                    )
+                    if count
+                ],
+                title=f"dropped messages ({self.total_dropped:,})",
+            )
+            report += "\n\n" + drops
+        return report

@@ -1,0 +1,210 @@
+"""Recovery metrics for fault-injection experiments.
+
+The paper argues Flower-CDN is "highly robust" but only measures steady
+churn; the fault-injection subsystem (:mod:`repro.net.faults`) produces the
+harder scenarios -- partitions, bursty loss, mass failures -- and this
+module measures how a protocol rides through them:
+
+- **availability** -- the fraction of *issued* queries that were answered
+  at all.  Normally every query terminates at the origin server, but a
+  partition can cut a peer off from everything including the server, so
+  unanswered queries are precisely the partition's availability cost;
+- **phase hit ratios** -- the P2P hit ratio before the fault, while it is
+  active, and after it heals, computed from the same
+  :class:`~repro.metrics.collector.QueryRecord` stream as the paper's
+  Figure 3;
+- **time to recover** -- how long after the heal the windowed hit ratio
+  first returns to within ``epsilon`` of its pre-fault baseline.
+
+Phase attribution convention: a query belongs to the phase it *completed*
+in (records are stamped at completion); issued counts use the issue time
+(the ``"cdn.query"`` trace event).  A query issued pre-fault but answered
+during it therefore counts against the fault phase's hit ratio -- exactly
+the failure it experienced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional, Sequence
+
+from repro.errors import CDNError
+from repro.metrics.collector import QueryRecord
+from repro.metrics.report import render_table
+from repro.metrics.timeseries import RatioPoint, RatioSeries
+
+
+def track_issued_queries(sim) -> List[float]:
+    """Subscribe to ``"cdn.query"`` and return the (live) issue-time list.
+
+    Call *before* running the world; the returned list grows as the
+    simulation executes and can be handed to :class:`RecoveryReport`.
+    """
+    issued: List[float] = []
+    sim.trace.subscribe("cdn.query", lambda event: issued.append(event.time))
+    return issued
+
+
+class PhaseStats(NamedTuple):
+    """Query accounting of one fault phase."""
+
+    name: str
+    start_ms: float
+    end_ms: float
+    issued: int
+    answered: int
+    hits: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """P2P hit ratio of the queries answered in this phase."""
+        return self.hits / self.answered if self.answered else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Answered / issued within the phase (1.0 when nothing issued).
+
+        Clamped at 1.0: answered queries are phased by completion time but
+        issued counts by issue time, so a query straddling a phase boundary
+        can make a busy phase's ratio edge past one.
+        """
+        if not self.issued:
+            return 1.0
+        return min(1.0, self.answered / self.issued)
+
+
+class RecoveryReport:
+    """Fault-phase breakdown + time-to-recover of one experiment run.
+
+    Args:
+        records: completed-query records (time-ordered, as the collector
+            produces them).
+        issued_times: issue timestamps from :func:`track_issued_queries`
+            (``None``: assume every answered query was issued in-phase).
+        fault_start_ms / fault_end_ms: the fault window (e.g. partition
+            start and heal times).
+        horizon_ms: experiment end.
+        window_ms: width of the hit-ratio windows used for the timeseries
+            and the recovery detection.
+        epsilon: recovery slack -- recovered means the windowed hit ratio
+            reaches ``pre-fault ratio - epsilon``.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[QueryRecord],
+        fault_start_ms: float,
+        fault_end_ms: float,
+        horizon_ms: float,
+        window_ms: float,
+        issued_times: Optional[Iterable[float]] = None,
+        epsilon: float = 0.05,
+    ) -> None:
+        if not 0.0 <= fault_start_ms < fault_end_ms <= horizon_ms:
+            raise CDNError("need 0 <= fault start < heal <= horizon")
+        if window_ms <= 0 or epsilon < 0:
+            raise CDNError("window must be positive and epsilon >= 0")
+        self.records = list(records)
+        self.fault_start_ms = fault_start_ms
+        self.fault_end_ms = fault_end_ms
+        self.horizon_ms = horizon_ms
+        self.window_ms = window_ms
+        self.epsilon = epsilon
+        self.issued_times = (
+            sorted(issued_times)
+            if issued_times is not None
+            else sorted(r.time for r in self.records)
+        )
+        self._series = RatioSeries()
+        for record in self.records:
+            self._series.observe(record.time, record.is_hit)
+
+    # ---------------------------------------------------------------- phases
+    def _phase(self, name: str, start: float, end: float) -> PhaseStats:
+        answered = [r for r in self.records if start <= r.time < end]
+        issued = sum(1 for t in self.issued_times if start <= t < end)
+        return PhaseStats(
+            name=name,
+            start_ms=start,
+            end_ms=end,
+            issued=issued,
+            answered=len(answered),
+            hits=sum(1 for r in answered if r.is_hit),
+        )
+
+    @property
+    def pre(self) -> PhaseStats:
+        return self._phase("pre-fault", 0.0, self.fault_start_ms)
+
+    @property
+    def during(self) -> PhaseStats:
+        return self._phase("fault", self.fault_start_ms, self.fault_end_ms)
+
+    @property
+    def post(self) -> PhaseStats:
+        # Half-open [heal, horizon]; include the horizon edge itself.
+        return self._phase("post-heal", self.fault_end_ms, self.horizon_ms + 1e-9)
+
+    def phases(self) -> List[PhaseStats]:
+        return [self.pre, self.during, self.post]
+
+    # ---------------------------------------------------------- availability
+    @property
+    def availability(self) -> float:
+        """Overall fraction of issued queries that completed."""
+        issued = len(self.issued_times)
+        return len(self.records) / issued if issued else 1.0
+
+    @property
+    def unanswered(self) -> int:
+        return max(0, len(self.issued_times) - len(self.records))
+
+    # -------------------------------------------------------------- recovery
+    def timeseries(self) -> List[RatioPoint]:
+        """Windowed hit-ratio curve over the whole horizon."""
+        if len(self._series) == 0:
+            return []
+        return self._series.windowed(self.window_ms, self.horizon_ms)
+
+    def time_to_recover_ms(self) -> Optional[float]:
+        """Time from the heal until the hit ratio is back to baseline.
+
+        The baseline is the pre-fault phase hit ratio; recovery is the end
+        of the first post-heal window with at least one answered query
+        whose windowed ratio is >= baseline - epsilon.  ``None`` when the
+        run never recovers (or sees no post-heal queries); ``0.0`` when
+        the fault never depressed the ratio below the slack at all.
+        """
+        baseline = self.pre.hit_ratio - self.epsilon
+        for point in self.timeseries():
+            if point.time <= self.fault_end_ms or point.total == 0:
+                continue
+            if point.ratio >= baseline:
+                return max(0.0, point.time - self.window_ms - self.fault_end_ms)
+        return None
+
+    # --------------------------------------------------------------- report
+    def render(self) -> str:
+        rows = [
+            [
+                phase.name,
+                f"{phase.start_ms / 3_600_000.0:.1f}-{phase.end_ms / 3_600_000.0:.1f} h",
+                phase.issued,
+                phase.answered,
+                f"{phase.hit_ratio:.1%}",
+                f"{phase.availability:.1%}",
+            ]
+            for phase in self.phases()
+        ]
+        table = render_table(
+            ["phase", "window", "issued", "answered", "hit ratio", "availability"],
+            rows,
+            title="fault phases",
+        )
+        ttr = self.time_to_recover_ms()
+        ttr_text = "never" if ttr is None else f"{ttr / 60_000.0:.1f} min"
+        footer = (
+            f"availability: {self.availability:.1%} "
+            f"({self.unanswered} unanswered); "
+            f"time to recover (eps={self.epsilon:.0%}): {ttr_text}"
+        )
+        return table + "\n" + footer

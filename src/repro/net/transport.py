@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.errors import TransportError
 from repro.net.message import Message
@@ -32,6 +32,9 @@ ReplyCallback = Callable[[Dict[str, Any]], None]
 
 #: Called when an RPC times out (destination dead or unknown).
 FailureCallback = Callable[[], None]
+
+#: Drop causes tracked by :attr:`Network.drop_counts`.
+DROP_CAUSES = ("loss", "dead_dst", "partition")
 
 
 class NetworkNode:
@@ -87,6 +90,60 @@ class NetworkNode:
         """Request/response with a timeout (see :meth:`Network.rpc`)."""
         self.network.rpc(self, dst, kind, payload or {}, on_reply, on_timeout, timeout_ms)
 
+    def retrying_rpc(
+        self,
+        dst: Address,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        on_reply: Optional[ReplyCallback] = None,
+        on_give_up: Optional[FailureCallback] = None,
+        timeout_ms: Optional[float] = None,
+        retries: int = 2,
+        backoff_ms: float = 500.0,
+        backoff_factor: float = 2.0,
+        backoff_cap_ms: float = 8000.0,
+        rng: Optional["random.Random"] = None,
+    ) -> None:
+        """RPC with capped exponential backoff and deterministic jitter.
+
+        A single lost request or reply no longer looks like a dead peer:
+        the call is retried up to *retries* times, waiting
+        ``min(cap, backoff * factor**attempt)`` scaled by a jitter factor
+        in [0.5, 1.0) between attempts.  Only when the whole budget is
+        exhausted does *on_give_up* fire -- the moment protocol code may
+        legitimately declare the destination failed.
+
+        Jitter draws come from the simulator's dedicated ``"rpc.retry"``
+        stream (or *rng*), so runs stay reproducible and unrelated
+        components' random sequences are not perturbed.
+        """
+        if retries < 0:
+            raise TransportError(f"retry budget must be >= 0 (got {retries})")
+        jitter_rng = rng if rng is not None else self.sim.rng("rpc.retry")
+        body = dict(payload or {})
+
+        def attempt(number: int) -> None:
+            if not self.alive:
+                return
+
+            def on_timeout() -> None:
+                if not self.alive:
+                    return
+                if number >= retries:
+                    if on_give_up is not None:
+                        on_give_up()
+                    return
+                delay = min(backoff_cap_ms, backoff_ms * (backoff_factor ** number))
+                delay *= 0.5 + 0.5 * jitter_rng.random()
+                self.sim.emit(
+                    "net.rpc_retry", rpc_kind=kind, dst=dst, attempt=number + 1
+                )
+                self.sim.schedule(delay, attempt, number + 1)
+
+            self.rpc(dst, kind, dict(body), on_reply, on_timeout, timeout_ms)
+
+        attempt(0)
+
     def on_message(self, message: Message) -> Optional[Dict[str, Any]]:
         """Dispatch to ``handle_<kind>``.  Subclasses rarely override this."""
         handler = getattr(self, "handle_" + message.kind.replace(".", "_"), None)
@@ -127,12 +184,42 @@ class Network:
         self._nodes: List[NetworkNode] = []
         self._request_ids = itertools.count(1)
         self.messages_sent = 0
-        self.messages_dropped = 0
+        #: drop cause -> count; see :data:`DROP_CAUSES`.  ``messages_dropped``
+        #: (the historical single counter) is the sum over all causes.
+        self.drop_counts: Dict[str, int] = {cause: 0 for cause in DROP_CAUSES}
         #: message kind -> number sent; the raw material of the overhead
         #: analysis ("minimizing the incurred overhead" -- paper section 1).
         self.kind_counts: Dict[str, int] = {}
+        #: optional :class:`~repro.net.faults.FaultController`; consulted at
+        #: scheduling time (latency degradation) and delivery time (partition
+        #: cuts, bursty loss).
+        self.faults = None
 
     # ------------------------------------------------------------ fault model
+    @property
+    def messages_dropped(self) -> int:
+        """Total messages dropped, over all causes."""
+        return sum(self.drop_counts.values())
+
+    @property
+    def dropped_loss(self) -> int:
+        """Messages dropped by (uniform or bursty) link loss."""
+        return self.drop_counts["loss"]
+
+    @property
+    def dropped_dead_dst(self) -> int:
+        """Messages addressed to crashed or unknown destinations."""
+        return self.drop_counts["dead_dst"]
+
+    @property
+    def dropped_partition(self) -> int:
+        """Messages cut by an active network partition."""
+        return self.drop_counts["partition"]
+
+    def install_faults(self, controller) -> None:
+        """Attach a :class:`~repro.net.faults.FaultController` to delivery."""
+        self.faults = controller
+
     def configure_loss(self, rate: float, rng: "random.Random") -> None:
         """Drop each delivery (requests, replies, one-ways) i.i.d. with
         probability *rate* -- failure injection beyond crash churn.
@@ -179,6 +266,21 @@ class Network:
         """One-way latency between two registered addresses."""
         return self.topology.latency(a, b)
 
+    def nodes(self) -> Iterator[NetworkNode]:
+        """All registered nodes (fault campaigns iterate this)."""
+        return iter(self._nodes)
+
+    def _link_latency(self, src: Address, dst: Address) -> float:
+        """Base latency plus any active fault-injected degradation."""
+        base = self.topology.latency(src, dst)
+        if self.faults is not None:
+            return self.faults.latency_adjust(src, dst, base)
+        return base
+
+    def _drop(self, cause: str, kind: str, dst: Address) -> None:
+        self.drop_counts[cause] = self.drop_counts.get(cause, 0) + 1
+        self.sim.emit("net.drop", message_kind=kind, dst=dst, cause=cause)
+
     # -------------------------------------------------------------- delivery
     def send(
         self,
@@ -193,7 +295,7 @@ class Network:
         message = Message(src.address, dst, kind, payload, sent_at=self.sim.now)
         self.messages_sent += 1
         self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
-        self.sim.schedule(self.latency(src.address, dst), self._deliver, message, None)
+        self.sim.schedule(self._link_latency(src.address, dst), self._deliver, message, None)
 
     def rpc(
         self,
@@ -229,28 +331,47 @@ class Network:
         self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
         context = _RpcContext(src, on_reply, on_timeout)
         self.sim.schedule(timeout_ms, context.fire_timeout)
-        self.sim.schedule(self.latency(src.address, dst), self._deliver, message, context)
+        self.sim.schedule(self._link_latency(src.address, dst), self._deliver, message, context)
+
+    def _delivery_drop_cause(self, src: Address, dst: Address) -> Optional[str]:
+        """Why a delivery on link src -> dst is lost right now, if at all."""
+        if self.faults is not None:
+            cause = self.faults.drop_cause(src, dst)
+            if cause is not None:
+                return cause
+        if self._lost():
+            return "loss"
+        return None
 
     def _deliver(self, message: Message, context: Optional["_RpcContext"]) -> None:
         dst_node = self._nodes[message.dst] if 0 <= message.dst < len(self._nodes) else None
-        if dst_node is None or not dst_node.alive or self._lost():
-            self.messages_dropped += 1
-            self.sim.emit("net.drop", message_kind=message.kind, dst=message.dst)
+        if dst_node is None or not dst_node.alive:
+            self._drop("dead_dst", message.kind, message.dst)
+            return
+        cause = self._delivery_drop_cause(message.src, message.dst)
+        if cause is not None:
+            self._drop(cause, message.kind, message.dst)
             return
         reply = dst_node.on_message(message)
         if context is not None:
             self.messages_sent += 1
             self.sim.schedule(
-                self.latency(message.dst, message.src),
+                self._link_latency(message.dst, message.src),
                 self._deliver_reply,
                 context,
+                message.dst,
                 reply if reply is not None else {},
             )
 
-    def _deliver_reply(self, context: "_RpcContext", payload: Dict[str, Any]) -> None:
-        if self._lost():
-            self.messages_dropped += 1
-            self.sim.emit("net.drop", message_kind="(reply)", dst=context.src.address)
+    def _deliver_reply(
+        self,
+        context: "_RpcContext",
+        replier: Address,
+        payload: Dict[str, Any],
+    ) -> None:
+        cause = self._delivery_drop_cause(replier, context.src.address)
+        if cause is not None:
+            self._drop(cause, "(reply)", context.src.address)
             return
         context.fire_reply(payload)
 

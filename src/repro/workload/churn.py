@@ -17,7 +17,7 @@ in through the two callbacks.  In expectation the online population is
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import WorkloadError
 from repro.sim.engine import Simulator
@@ -70,7 +70,13 @@ class ChurnModel:
         self.on_arrival = on_arrival
         self.on_departure = on_departure
         self._online: Set[int] = set()
+        # Offline pool as swap-pop array + index map: O(1) admission of a
+        # random identity AND O(1) removal of a *specific* identity (seeding),
+        # so full-scale populations (REPRO_SCALE=full) stay O(1) per event.
         self._offline: List[int] = list(range(num_identities))
+        self._offline_index: Dict[int, int] = {
+            identity: index for index, identity in enumerate(self._offline)
+        }
         self.arrivals = 0
         self.departures = 0
         self._started = False
@@ -117,10 +123,20 @@ class ChurnModel:
     def _take_offline_identity(self, identity: int) -> None:
         if identity in self._online:
             raise WorkloadError(f"identity {identity} is already online")
-        try:
-            self._offline.remove(identity)
-        except ValueError:
-            raise WorkloadError(f"unknown identity {identity}") from None
+        index = self._offline_index.get(identity)
+        if index is None:
+            raise WorkloadError(f"unknown identity {identity}")
+        self._pop_offline_at(index)
+
+    def _pop_offline_at(self, index: int) -> int:
+        """Swap-pop the identity at *index* from the offline pool: O(1)."""
+        identity = self._offline[index]
+        tail = self._offline[-1]
+        self._offline[index] = tail
+        self._offline_index[tail] = index
+        self._offline.pop()
+        del self._offline_index[identity]
+        return identity
 
     def _schedule_next_arrival(self) -> None:
         gap = self.rng.expovariate(1.0 / self.mean_interarrival_ms)
@@ -146,9 +162,7 @@ class ChurnModel:
             self.sim.emit("churn.arrival_skipped")
             return None
         index = self.rng.randrange(len(self._offline))
-        # O(1) removal: swap with the tail.
-        self._offline[index], self._offline[-1] = self._offline[-1], self._offline[index]
-        identity = self._offline.pop()
+        identity = self._pop_offline_at(index)
         self._online.add(identity)
         self.arrivals += 1
         self.sim.emit("churn.arrival", identity=identity)
@@ -165,6 +179,7 @@ class ChurnModel:
         if identity not in self._online:
             return  # already taken down by an earlier session's timer
         self._online.remove(identity)
+        self._offline_index[identity] = len(self._offline)
         self._offline.append(identity)
         self.departures += 1
         self.sim.emit("churn.departure", identity=identity)

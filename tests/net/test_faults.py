@@ -1,0 +1,342 @@
+"""Tests for the fault-injection subsystem (partitions, bursty loss,
+latency spikes, mass failures, determinism)."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.faults import (
+    BurstyLossSpec,
+    FaultController,
+    LatencySpikeSpec,
+    MassFailureSpec,
+    PartitionSpec,
+)
+from repro.net.topology import ExplicitTopology
+from repro.net.transport import Network, NetworkNode
+from repro.sim.engine import Simulator
+
+
+class Recorder(NetworkNode):
+    def __init__(self, network):
+        super().__init__(network)
+        self.received = []
+        self.received_at = {}
+
+    def handle_ping(self, message):
+        seq = message.payload.get("seq")
+        self.received.append(seq)
+        self.received_at[seq] = self.sim.now
+        return {"ok": True}
+
+
+def make_world(num_nodes=2, latency=10.0, seed=1):
+    sim = Simulator(seed=seed)
+    matrix = [
+        [0.0 if i == j else latency for j in range(num_nodes)]
+        for i in range(num_nodes)
+    ]
+    network = Network(sim, ExplicitTopology(matrix), default_timeout_ms=100.0)
+    nodes = [Recorder(network) for __ in range(num_nodes)]
+    return sim, network, nodes
+
+
+def send_at(sim, time, src, dst, seq):
+    sim.schedule_at(time, lambda: src.send(dst.address, "ping", seq=seq))
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(TransportError):
+        BurstyLossSpec(p_good_to_bad=1.5, p_bad_to_good=0.5)
+    with pytest.raises(TransportError):
+        BurstyLossSpec(p_good_to_bad=0.1, p_bad_to_good=0.0)
+    with pytest.raises(TransportError):
+        PartitionSpec(locality=0, start_ms=100.0, heal_ms=100.0)
+    with pytest.raises(TransportError):
+        LatencySpikeSpec(start_ms=0.0, end_ms=10.0, multiplier=0.5)
+    with pytest.raises(TransportError):
+        MassFailureSpec(at_ms=0.0, fraction=0.0)
+
+
+def test_specs_are_hashable():
+    """Specs ride inside frozen ExperimentConfig tuples used as dict keys."""
+    schedule = (
+        BurstyLossSpec(p_good_to_bad=0.05, p_bad_to_good=0.5),
+        PartitionSpec(locality=1, start_ms=1.0, heal_ms=2.0),
+        LatencySpikeSpec(start_ms=0.0, end_ms=1.0, multiplier=2.0),
+        MassFailureSpec(at_ms=5.0),
+    )
+    assert len({schedule: "ok"}) == 1
+
+
+def test_apply_rejects_unknown_spec():
+    sim, network, __ = make_world()
+    controller = FaultController(sim, network)
+    with pytest.raises(TransportError):
+        controller.apply(["not a spec"])
+
+
+# ---------------------------------------------------------------------------
+# Partitions
+# ---------------------------------------------------------------------------
+
+def test_partition_cuts_both_directions_and_heals():
+    sim, network, (a, b) = make_world()
+    controller = FaultController(sim, network)
+    controller.schedule_partition(
+        start_ms=0.0, heal_ms=1000.0, group=frozenset({a.address})
+    )
+
+    a.send(b.address, "ping", seq="a->b cut")
+    b.send(a.address, "ping", seq="b->a cut")
+    sim.run(until=500.0)
+    assert a.received == [] and b.received == []
+    assert network.dropped_partition == 2
+    assert controller.partition_active()
+
+    # After the heal, the same links deliver again.
+    send_at(sim, 1500.0, a, b, "a->b ok")
+    send_at(sim, 1500.0, b, a, "b->a ok")
+    sim.run(until=2000.0)
+    assert b.received == ["a->b ok"]
+    assert a.received == ["b->a ok"]
+    assert network.dropped_partition == 2
+    assert not controller.partition_active()
+    assert sim.trace.count("fault.partition_start") == 1
+    assert sim.trace.count("fault.partition_heal") == 1
+
+
+def test_locality_partition_spares_intra_side_traffic():
+    sim, network, (a, b, c) = make_world(num_nodes=3)
+    side = {a.address: 0, b.address: 1, c.address: 1}
+    controller = FaultController(sim, network, locality_of=side.get)
+    controller.apply([PartitionSpec(locality=0, start_ms=0.0, heal_ms=10_000.0)])
+
+    b.send(c.address, "ping", seq="same side")
+    a.send(b.address, "ping", seq="cross")
+    sim.run(until=100.0)
+    assert c.received == ["same side"]
+    assert b.received == []
+    assert network.dropped_partition == 1
+    assert controller.partition_active()
+
+
+def test_partition_requires_exactly_one_side_selector():
+    sim, network, (a, __) = make_world()
+    controller = FaultController(sim, network, locality_of=lambda addr: 0)
+    with pytest.raises(TransportError):
+        controller.schedule_partition(0.0, 1.0)
+    with pytest.raises(TransportError):
+        controller.schedule_partition(
+            0.0, 1.0, locality=0, group=frozenset({a.address})
+        )
+
+
+def test_partition_cuts_rpc_replies_in_flight():
+    """A partition starting between request delivery and reply arrival cuts
+    the reply: the handler ran but the caller times out."""
+    sim, network, (a, b) = make_world(latency=10.0)
+    controller = FaultController(sim, network)
+    # Request arrives at t=10 (before the cut); reply would arrive at t=20.
+    controller.schedule_partition(
+        start_ms=15.0, heal_ms=1000.0, group=frozenset({a.address})
+    )
+    outcomes = []
+    a.rpc(
+        b.address,
+        "ping",
+        {"seq": 1},
+        on_reply=lambda p: outcomes.append("reply"),
+        on_timeout=lambda: outcomes.append("timeout"),
+    )
+    sim.run(until=500.0)
+    assert b.received == [1]
+    assert outcomes == ["timeout"]
+    assert network.dropped_partition == 1
+
+
+# ---------------------------------------------------------------------------
+# Gilbert-Elliott bursty loss
+# ---------------------------------------------------------------------------
+
+def test_gilbert_elliott_stationary_loss_rate():
+    spec = BurstyLossSpec(p_good_to_bad=0.05, p_bad_to_good=0.5)
+    assert spec.stationary_loss_rate == pytest.approx(0.05 / 0.55, abs=1e-9)
+
+    sim, network, (a, b) = make_world(seed=7)
+    controller = FaultController(sim, network)
+    controller.set_bursty_loss(spec)
+    total = 4000
+    for seq in range(total):
+        send_at(sim, float(seq), a, b, seq)
+    sim.run()
+    observed = 1.0 - len(b.received) / total
+    assert observed == pytest.approx(spec.stationary_loss_rate, abs=0.03)
+    assert network.dropped_loss == total - len(b.received)
+    assert controller.stats["burst_drops"] == network.dropped_loss
+
+
+def test_gilbert_elliott_losses_are_bursty():
+    """Drops cluster: the mean run of consecutive drops approaches
+    1 / p_bad_to_good, well above the ~1.1 of i.i.d. loss at the same rate."""
+    spec = BurstyLossSpec(p_good_to_bad=0.05, p_bad_to_good=0.4)
+    sim, network, (a, b) = make_world(seed=11)
+    FaultController(sim, network).set_bursty_loss(spec)
+    # One shared link, strictly ordered sends -> the delivery sequence is
+    # the chain's trajectory.
+    total = 6000
+    for seq in range(total):
+        send_at(sim, float(seq), a, b, seq)
+    sim.run()
+    delivered = set(b.received)
+    runs = []
+    run = 0
+    for seq in range(total):
+        if seq in delivered:
+            if run:
+                runs.append(run)
+            run = 0
+        else:
+            run += 1
+    if run:
+        runs.append(run)
+    assert runs, "expected at least one drop burst"
+    mean_burst = sum(runs) / len(runs)
+    # 1/p_bad_to_good = 2.5 deliveries; i.i.d. loss at the same stationary
+    # rate (~0.11) would give ~1.12.
+    assert mean_burst > 1.6
+    assert mean_burst == pytest.approx(1.0 / spec.p_bad_to_good, rel=0.35)
+
+
+def test_bursty_loss_respects_window():
+    spec = BurstyLossSpec(
+        p_good_to_bad=0.0,
+        p_bad_to_good=0.0,
+        loss_good=1.0,
+        loss_bad=1.0,
+        start_ms=100.0,
+        end_ms=200.0,
+    )
+    sim, network, (a, b) = make_world()
+    FaultController(sim, network).set_bursty_loss(spec)
+    send_at(sim, 10.0, a, b, "before")
+    send_at(sim, 140.0, a, b, "inside")
+    send_at(sim, 300.0, a, b, "after")
+    sim.run()
+    assert b.received == ["before", "after"]
+
+
+# ---------------------------------------------------------------------------
+# Latency spikes
+# ---------------------------------------------------------------------------
+
+def test_latency_spike_window_delays_delivery():
+    sim, network, (a, b) = make_world(latency=10.0)
+    FaultController(sim, network).schedule_latency_spike(
+        LatencySpikeSpec(start_ms=100.0, end_ms=200.0, multiplier=3.0, additive_ms=5.0)
+    )
+    send_at(sim, 0.0, a, b, "normal")
+    send_at(sim, 150.0, a, b, "spiked")
+    sim.run()
+    assert b.received_at["normal"] == pytest.approx(10.0)
+    assert b.received_at["spiked"] == pytest.approx(150.0 + 10.0 * 3.0 + 5.0)
+    assert network.messages_dropped == 0
+
+
+def test_latency_spike_adjusts_link_latency():
+    sim, network, (a, b) = make_world(latency=10.0)
+    controller = FaultController(sim, network)
+    controller.schedule_latency_spike(
+        LatencySpikeSpec(start_ms=0.0, end_ms=100.0, multiplier=3.0, additive_ms=5.0)
+    )
+    assert network._link_latency(a.address, b.address) == pytest.approx(35.0)
+    sim.run(until=150.0)  # run() advances the clock past the window
+    assert network._link_latency(a.address, b.address) == pytest.approx(10.0)
+    assert controller.latency_adjust(a.address, b.address, 10.0) == pytest.approx(10.0)
+
+
+# ---------------------------------------------------------------------------
+# Mass-failure campaigns
+# ---------------------------------------------------------------------------
+
+def test_mass_failure_crashes_requested_fraction():
+    sim, network, nodes = make_world(num_nodes=10, seed=3)
+    controller = FaultController(sim, network)
+    controller.schedule_mass_failure(at_ms=100.0, fraction=0.5)
+    sim.run(until=200.0)
+    dead = [n for n in nodes if not n.alive]
+    assert len(dead) == 5
+    assert controller.stats["mass_failures"] == 5
+    assert sim.trace.count("fault.mass_failure") == 1
+
+
+def test_mass_failure_locality_scoped():
+    sim, network, nodes = make_world(num_nodes=8, seed=3)
+    locality = {n.address: n.address % 2 for n in nodes}
+    controller = FaultController(sim, network, locality_of=locality.get)
+    controller.apply([MassFailureSpec(at_ms=50.0, fraction=1.0, locality=0)])
+    sim.run(until=100.0)
+    for node in nodes:
+        assert node.alive == (locality[node.address] == 1)
+
+
+def test_mass_failure_directories_only():
+    sim, network, nodes = make_world(num_nodes=6, seed=3)
+    for node in nodes[:2]:
+        node.is_directory = True
+    controller = FaultController(sim, network)
+    controller.schedule_mass_failure(at_ms=10.0, fraction=1.0, directories_only=True)
+    sim.run(until=50.0)
+    assert all(not n.alive for n in nodes[:2])
+    assert all(n.alive for n in nodes[2:])
+
+
+def test_mass_failure_uses_crash_hook_when_available():
+    sim, network, nodes = make_world(num_nodes=4, seed=3)
+    crashed = []
+    nodes[0].crash = lambda: (crashed.append(True), nodes[0].fail())
+    controller = FaultController(sim, network)
+    controller.schedule_mass_failure(at_ms=10.0, fraction=1.0)
+    sim.run(until=50.0)
+    assert crashed == [True]
+    assert all(not n.alive for n in nodes)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+def _fault_trajectory(seed):
+    sim, network, nodes = make_world(num_nodes=6, seed=seed)
+    a, b = nodes[0], nodes[1]
+    controller = FaultController(sim, network)
+    controller.apply(
+        (
+            BurstyLossSpec(p_good_to_bad=0.08, p_bad_to_good=0.4),
+            MassFailureSpec(at_ms=2500.0, fraction=0.5),
+        )
+    )
+    for seq in range(3000):
+        send_at(sim, float(seq), a, b, seq)
+    sim.run()
+    return (
+        tuple(b.received),
+        dict(network.drop_counts),
+        dict(controller.stats),
+        tuple(n.alive for n in nodes),
+    )
+
+
+def test_identical_seeds_identical_fault_trajectories():
+    assert _fault_trajectory(42) == _fault_trajectory(42)
+    assert _fault_trajectory(42) != _fault_trajectory(43)
+
+
+def test_controller_defaults_to_dedicated_rng_stream():
+    sim, network, __ = make_world()
+    controller = FaultController(sim, network)
+    assert controller.rng is sim.rng("faults")
+    assert controller.rng is not sim.rng("churn")

@@ -15,14 +15,14 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name):
+def run_example(name, *args):
     path = EXAMPLES / f"{name}.py"
     spec = importlib.util.spec_from_file_location(f"example_{name}", path)
     module = importlib.util.module_from_spec(spec)
     sys.modules[spec.name] = module
     try:
         spec.loader.exec_module(module)
-        module.main()
+        module.main(*args)
     finally:
         sys.modules.pop(spec.name, None)
 
@@ -62,6 +62,51 @@ def test_flash_crowd_surge_runs(capsys):
 
 @pytest.mark.slow
 def test_churn_resilience_runs(capsys):
-    run_example("churn_resilience")
+    # Empty argv: don't let the example's --seed parser see pytest's argv.
+    run_example("churn_resilience", [])
     out = capsys.readouterr().out
     assert "shorter uptimes hurt Squirrel" in out
+
+
+@pytest.mark.slow
+def test_partition_recovery_runs(capsys):
+    run_example("partition_recovery", ["--seed", "5"])
+    out = capsys.readouterr().out
+    assert "partition of locality 0" in out
+    assert "availability" in out
+    assert "(seed 5)" in out
+
+
+def test_examples_are_deterministic_with_faults():
+    """Identical seeds produce identical reports, fault injection included
+    (the examples' --seed contract).  Scaled down so it stays fast."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_recovery_experiment
+    from repro.net.faults import PartitionSpec
+    from repro.sim.clock import minutes
+
+    config = ExperimentConfig.scaled(
+        population=60,
+        duration_hours=1.5,
+        num_websites=4,
+        num_active_websites=2,
+        num_localities=2,
+        objects_per_website=20,
+        fault_schedule=(
+            PartitionSpec(locality=0, start_ms=minutes(30), heal_ms=minutes(60)),
+        ),
+    )
+
+    def snapshot(seed):
+        result, recovery = run_recovery_experiment(
+            "flower",
+            config,
+            fault_start_ms=minutes(30),
+            fault_end_ms=minutes(60),
+            seed=seed,
+            window_ms=minutes(15),
+        )
+        return result.to_dict(), recovery.render()
+
+    assert snapshot(11) == snapshot(11)
+    assert snapshot(11) != snapshot(12)
