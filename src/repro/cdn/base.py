@@ -149,6 +149,11 @@ class BasePeer(NetworkNode):
         super().__init__(system.network, cluster_hint)
         self.system = system
         self.identity = identity
+        #: this peer's private random stream.  Resolved once: the registry
+        #: returns a stable generator per name, and the former property
+        #: rebuilt the name string and re-queried the registry on every
+        #: draw of the query/gossip hot paths.
+        self.rng: random.Random = self.sim.rng(f"peer-{identity}")
         self.website = website
         self.locality = system.binner.locality_of(self.address)
         self.store = ContentStore(capacity=system.params.cache_capacity)
@@ -158,11 +163,6 @@ class BasePeer(NetworkNode):
         self._query_process: Optional[PeriodicProcess] = None
 
     # ------------------------------------------------------------- lifecycle
-    @property
-    def rng(self) -> random.Random:
-        """This peer's private random stream."""
-        return self.sim.rng(f"peer-{self.identity}")
-
     def begin_session(self) -> None:
         """Come online: start querying if the peer's website is active."""
         self.revive()

@@ -27,6 +27,21 @@ class SquirrelPeer(BasePeer):
         self.chord: Optional[ChordNode] = None
         #: object key -> ordered delegate addresses (oldest first).
         self.home_directory: Dict[ObjectKey, "OrderedDict[Address, None]"] = {}
+        # Delivery fast path: pre-register wrappers so ``Network._deliver``
+        # can dispatch straight from the handler cache (each wrapper re-reads
+        # ``self.chord`` at call time -- identical to the on_message route).
+        cache = self._handler_cache
+        cache["chord.route"] = self._dispatch_chord_route
+        cache["chord.route_result"] = self._dispatch_chord_route_result
+        for kind in (
+            "chord.get_state",
+            "chord.notify",
+            "chord.ping",
+            "chord.probe",
+            "chord.successor_hint",
+            "chord.predecessor_hint",
+        ):
+            cache[kind] = self._dispatch_chord_component
 
     # ------------------------------------------------------------ dispatch
     def on_message(self, message: Message) -> Optional[Dict[str, Any]]:
@@ -42,6 +57,24 @@ class SquirrelPeer(BasePeer):
                 return {}
             return self.chord.on_message(message)
         return super().on_message(message)
+
+    # Cache-resident wrappers (see ``__init__``).
+    def _dispatch_chord_route(self, message: Message) -> Optional[Dict[str, Any]]:
+        return route_step(self.chord, self, message)
+
+    def _dispatch_chord_route_result(self, message: Message) -> Optional[Dict[str, Any]]:
+        return deliver_route_result(self, message)
+
+    def _dispatch_chord_component(self, message: Message) -> Optional[Dict[str, Any]]:
+        chord = self.chord
+        if chord is None:
+            if message.kind == "chord.probe":
+                return {"status": "not_ready"}
+            return {}
+        handler = chord._handler_cache.get(message.kind)
+        if handler is None:
+            return chord.on_message(message)
+        return handler(message)
 
     # ------------------------------------------------------------ lifecycle
     def _on_session_begin(self) -> None:

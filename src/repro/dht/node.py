@@ -41,12 +41,20 @@ class NodeRef(NamedTuple):
     address: Address
 
     def pack(self) -> "tuple":
-        return (self.id, self.address)
+        """Wire form of this ref.
+
+        A ``NodeRef`` *is* a tuple (NamedTuple), so it is its own wire
+        form -- returning ``self`` avoids one tuple allocation per packed
+        ref on the maintenance hot path (hundreds of thousands per run).
+        """
+        return self
 
     @staticmethod
     def unpack(raw: Optional[tuple]) -> Optional["NodeRef"]:
-        if raw is None:
-            return None
+        if type(raw) is NodeRef or raw is None:
+            # Simulated peers share one address space, so packed refs arrive
+            # as the NodeRef they were packed from: identity, no allocation.
+            return raw
         return NodeRef(raw[0], raw[1])
 
 
@@ -75,6 +83,11 @@ class LookupResult(NamedTuple):
 
 LookupCallback = Callable[[LookupResult], None]
 
+#: ``tuple.__new__`` bound once: LookupResult is a NamedTuple, so building
+#: it directly from a tuple skips the generated constructor frame (one
+#: LookupResult per lookup; see _finish in both lookup strategies).
+_new_lookup_result = tuple.__new__
+
 
 class ChordNode:
     """One node's Chord state and behaviour.
@@ -100,13 +113,25 @@ class ChordNode:
         self.fingers: List[Optional[NodeRef]] = [None] * ring.params.bits
         self.joined = False
         self._next_finger = 1  # finger 0 is the successor; repaired by stabilize
+        #: finger i's target key -- static per (node_id, bits), computed
+        #: lazily on the first repair tick (same formula as
+        #: IdSpace.finger_start).  Directory nodes are created in large
+        #: numbers under churn and many die before their first repair, so
+        #: paying the table at construction time is wasted work.
+        self._finger_starts: Optional[List[ChordId]] = None
+        #: this node's own ref, cached: (node_id, address) are both fixed
+        #: for the node's lifetime, and a shared ref object lets the finger
+        #: scan skip duplicate entries by identity.
+        self._ref = NodeRef(node_id, host.address)
         self._maintenance: Optional[PeriodicProcess] = None
         self._stabilizing = False
+        #: kind -> bound handler, resolved once (hot dispatch path).
+        self._handler_cache: Dict[str, Callable[[Message], Optional[Dict[str, Any]]]] = {}
 
     # ---------------------------------------------------------------- basics
     @property
     def ref(self) -> NodeRef:
-        return NodeRef(self.node_id, self.host.address)
+        return self._ref
 
     @property
     def is_active(self) -> bool:
@@ -279,17 +304,44 @@ class ChordNode:
         the Chord paper; nodes in *exclude* (known dead) are skipped.
         """
         best: Optional[NodeRef] = None
-        best_distance = self.space.size
+        space = self.space
+        size = space.size
+        best_distance = size
+        node_id = self.node_id
+        # Routing (the common caller) passes an empty exclusion set; skip
+        # the per-finger set membership test entirely in that case.
+        excluding = bool(exclude)
+        # The interval test ``id in (node_id, key)`` is inlined below: the
+        # finger scan runs for every routing hop and the ``in_open`` method
+        # call dominates its cost at paper scale (semantics identical to
+        # ``IdSpace.in_open``, property-tested there).
+        wraps = node_id >= key  # interval wraps the origin (or is degenerate)
+        prev = None
         for finger in reversed(self.fingers):
-            if finger is None or finger.id in exclude or finger.id == self.node_id:
+            # Adjacent finger slots frequently hold the *same* ref object
+            # (low fingers all equal the successor); a rejected ref would be
+            # rejected again, and an accepted one returns immediately, so
+            # duplicates can be skipped by identity.
+            if finger is None or finger is prev:
                 continue
-            if self.space.in_open(finger.id, self.node_id, key):
+            prev = finger
+            fid = finger.id
+            if fid == node_id or (excluding and fid in exclude):
+                continue
+            if wraps:
+                if node_id == key:
+                    if fid != node_id:
+                        return finger
+                elif fid > node_id or fid < key:
+                    return finger
+            elif node_id < fid < key:
                 return finger
         for candidate in self.successors:
-            if candidate.id in exclude or candidate.id == self.node_id:
+            cid = candidate.id
+            if cid == node_id or (excluding and cid in exclude):
                 continue
-            if self.space.in_open(candidate.id, self.node_id, key):
-                distance = self.space.distance(candidate.id, key)
+            if space.in_open(cid, node_id, key):
+                distance = (key - cid) % size
                 if distance < best_distance:
                     best, best_distance = candidate, distance
         return best
@@ -307,12 +359,19 @@ class ChordNode:
         """Successor list = head + its list, deduplicated, truncated to r."""
         merged: List[NodeRef] = [head]
         seen = {head.id, self.node_id}
+        seen_add = seen.add
+        limit = self.ring.params.successor_list_size
+        count = 1
         for ref in rest:
-            if ref is None or ref.id in seen:
+            if ref is None:
+                continue
+            rid = ref.id
+            if rid in seen:
                 continue
             merged.append(ref)
-            seen.add(ref.id)
-            if len(merged) >= self.ring.params.successor_list_size:
+            seen_add(rid)
+            count += 1
+            if count >= limit:
                 break
         return merged
 
@@ -342,9 +401,13 @@ class ChordNode:
     # ------------------------------------------------------------- handlers
     def on_message(self, message: Message) -> Optional[Dict[str, Any]]:
         """Dispatch ``chord.*`` message kinds to handler methods."""
-        handler = getattr(self, "handle_" + message.kind.replace(".", "_"), None)
+        kind = message.kind
+        handler = self._handler_cache.get(kind)
         if handler is None:
-            raise DHTError(f"unknown chord message kind {message.kind!r}")
+            handler = getattr(self, "handle_" + kind.replace(".", "_"), None)
+            if handler is None:
+                raise DHTError(f"unknown chord message kind {message.kind!r}")
+            self._handler_cache[kind] = handler
         return handler(message)
 
     def handle_chord_probe(self, message: Message) -> Dict[str, Any]:
@@ -366,10 +429,12 @@ class ChordNode:
 
     def handle_chord_get_state(self, message: Message) -> Dict[str, Any]:
         """Stabilization read: our predecessor and successor list."""
+        # NodeRefs are their own wire form (see NodeRef.pack); a plain list
+        # copy packs the successor list without per-entry method calls.
         return {
             "id": self.node_id,
-            "predecessor": self.predecessor.pack() if self.predecessor else None,
-            "successors": [s.pack() for s in self.successors],
+            "predecessor": self.predecessor,
+            "successors": list(self.successors),
         }
 
     def handle_chord_notify(self, message: Message) -> Dict[str, Any]:
@@ -422,7 +487,7 @@ class ChordNode:
 
     # ---------------------------------------------------------- maintenance
     def _maintenance_tick(self) -> None:
-        if not self.is_active:
+        if not (self.joined and self.host.alive):  # is_active, inlined
             return
         self._stabilize()
         self._fix_one_finger()
@@ -432,9 +497,10 @@ class ChordNode:
         """Classic stabilize: learn successor's predecessor, then notify."""
         if self._stabilizing and attempt == 0:
             return  # previous round still in flight
-        succ = self.successor
+        successors = self.successors
+        succ = successors[0] if successors else None
         if succ is None:
-            self.successors = [self.ref]
+            self.successors = [self._ref]
             self._stabilizing = False
             return
         if succ.id == self.node_id:
@@ -444,15 +510,16 @@ class ChordNode:
             self._stabilizing = False
             pred = self.predecessor
             if pred is not None and pred.id != self.node_id:
-                self.successors = self._merged_successors(pred, [])
-                self.fingers[0] = self.successor
-                self.host.send(pred.address, "chord.notify", candidate=self.ref.pack())
+                merged = self._merged_successors(pred, [])
+                self.successors = merged
+                self.fingers[0] = merged[0]
+                self.host.send(pred.address, "chord.notify", candidate=self._ref)
             return
         self._stabilizing = True
 
         def on_state(payload: Dict[str, Any]) -> None:
             self._stabilizing = False
-            if not self.is_active:
+            if not (self.joined and self.host.alive):  # is_active, inlined
                 return
             if not payload.get("successors"):
                 # The host answered but is no longer a ring member (it
@@ -461,7 +528,10 @@ class ChordNode:
                 on_timeout()
                 return
             pred = NodeRef.unpack(payload.get("predecessor"))
-            succlist = [NodeRef.unpack(raw) for raw in payload.get("successors", [])]
+            # The successor entries are NodeRefs already (their own wire
+            # form -- see NodeRef.pack); no per-entry unpack needed on this,
+            # the most frequent maintenance reply in a run.
+            succlist = payload["successors"]
             new_succ = succ
             if (
                 pred is not None
@@ -469,24 +539,24 @@ class ChordNode:
                 and self.space.in_open(pred.id, self.node_id, succ.id)
             ):
                 new_succ = pred  # a closer successor has appeared
-            self.successors = self._merged_successors(
+            merged = self._merged_successors(
                 new_succ, [succ] + succlist if new_succ != succ else succlist
             )
-            self.fingers[0] = self.successor
-            self.host.send(
-                self.successor.address, "chord.notify", candidate=self.ref.pack()
-            )
+            self.successors = merged
+            first = merged[0]
+            self.fingers[0] = first
+            self.host.send(first.address, "chord.notify", candidate=self._ref)
 
         def on_timeout() -> None:
             self._stabilizing = False
-            if not self.is_active:
+            if not (self.joined and self.host.alive):  # is_active, inlined
                 return
             self.note_failed(succ.id)
             self.host.sim.emit("chord.successor_failed", id=self.node_id, dead=succ.id)
             if attempt < self.ring.params.successor_list_size:
                 self._stabilize(attempt + 1)  # fall through to the next one
             elif not self.successors:
-                self.successors = [self.ref]  # last resort: re-anchor later
+                self.successors = [self._ref]  # last resort: re-anchor later
 
         self.host.rpc(
             succ.address,
@@ -508,21 +578,36 @@ class ChordNode:
         """
         if not self.joined:
             return
-        for __ in range(self.ring.params.bits - 1):
+        bits = self.ring.params.bits
+        node_id = self.node_id
+        starts = self._finger_starts
+        if starts is None:
+            size = self.space.size
+            starts = self._finger_starts = [
+                (node_id + (1 << i)) % size for i in range(bits)
+            ]
+        fingers = self.fingers
+        successors = self.successors
+        succ = successors[0] if successors else None
+        succ_id = succ.id if succ is not None else None
+        for __ in range(bits - 1):
             index = self._next_finger
             self._next_finger += 1
-            if self._next_finger >= self.ring.params.bits:
+            if self._next_finger >= bits:
                 self._next_finger = 1
-            key = self.space.finger_start(self.node_id, index)
-            succ = self.successor
-            if succ is not None and self.space.in_half_open_right(
-                key, self.node_id, succ.id
+            key = starts[index]
+            if succ_id is not None and (
+                # key in (node_id, succ_id] cyclically (in_half_open_right,
+                # inlined: this test runs ~log2(N) times per tick per node).
+                node_id == succ_id
+                or (node_id < key <= succ_id)
+                or (node_id > succ_id and (key > node_id or key <= succ_id))
             ):
-                self.fingers[index] = succ
+                fingers[index] = succ
                 continue
 
             def done(result: LookupResult, index: int = index) -> None:
-                if result.ok and self.is_active:
+                if result.found is not None and self.joined and self.host.alive:
                     self.fingers[index] = result.found
 
             self.lookup(key, done)
@@ -579,7 +664,8 @@ class _Lookup:
             self._probe(self.start_address)
             return
         node = self.node
-        succ = node.successor
+        successors = node.successors
+        succ = successors[0] if successors else None
         if succ is None:
             self._finish(None)
             return
@@ -593,19 +679,21 @@ class _Lookup:
     # ------------------------------------------------------------ internals
     def _finish(self, found: Optional[NodeRef]) -> None:
         sim = self.node.host.sim
-        result = LookupResult(
-            key=self.key,
-            found=found,
-            hops=self.hops,
-            timeouts=self.timeouts,
-            latency_ms=sim.now - self.started_at,
+        hops = self.hops
+        timeouts = self.timeouts
+        latency_ms = sim.now - self.started_at
+        # NamedTuple construction via tuple.__new__: LookupResult *is* a
+        # tuple, and one is built per lookup -- the generated __new__ frame
+        # is pure overhead on this path.
+        result = _new_lookup_result(
+            LookupResult, (self.key, found, hops, timeouts, latency_ms)
         )
         sim.emit(
             "chord.lookup",
-            ok=result.ok,
-            hops=result.hops,
-            timeouts=result.timeouts,
-            latency_ms=result.latency_ms,
+            ok=found is not None,
+            hops=hops,
+            timeouts=timeouts,
+            latency_ms=latency_ms,
         )
         self.on_done(result)
 
@@ -725,7 +813,7 @@ class _Lookup:
 
 def deliver_route_result(host: NetworkNode, message: Message) -> None:
     """Host-side dispatch of ``chord.route_result`` (see module comment)."""
-    pending = getattr(host, "_chord_pending_lookups", None)
+    pending = host._chord_pending_lookups  # pre-created by NetworkNode
     if not pending:
         return None
     callback = pending.pop(message.payload.get("nonce"), None)
@@ -750,15 +838,24 @@ def route_step(node: Optional["ChordNode"], host: NetworkNode, message: Message)
     hops: int = payload["hops"]
     if hops >= node.ring.params.lookup_max_probes:
         return {"ok": True}  # loop guard: swallow silently
-    succ = node.successor
-    if succ is None:
+    successors = node.successors
+    if not successors:
         return {"ok": False}
-    if node.space.in_half_open_right(key, node.node_id, succ.id):
+    succ = successors[0]
+    node_id = node.node_id
+    succ_id = succ.id
+    # key in (node_id, succ_id] cyclically -- in_half_open_right inlined;
+    # this test runs once per forwarded hop of every recursive lookup.
+    if (
+        node_id == succ_id
+        or (node_id < key <= succ_id)
+        or (node_id > succ_id and (key > node_id or key <= succ_id))
+    ):
         host.send(
             payload["origin"],
             "chord.route_result",
             nonce=payload["nonce"],
-            result=succ.pack(),
+            result=succ,
             hops=hops,
         )
         return {"ok": True}
@@ -784,7 +881,8 @@ def forward_route(
     key: ChordId = payload["key"]
     nxt = node.closest_preceding(key, _EMPTY_EXCLUDE)
     if nxt is None:
-        nxt = node.successor
+        successors = node.successors
+        nxt = successors[0] if successors else None
     if nxt is None or nxt.id == node.node_id:
         return
 
@@ -832,16 +930,11 @@ class _RecursiveLookup:
 
     # ------------------------------------------------------------ plumbing
     def _pending_table(self) -> Dict:
-        host = self.node.host
-        table = getattr(host, "_chord_pending_lookups", None)
-        if table is None:
-            table = {}
-            host._chord_pending_lookups = table
-        return table
+        return self.node.host._chord_pending_lookups  # pre-created by NetworkNode
 
     def _next_nonce(self) -> tuple:
         host = self.node.host
-        sequence = getattr(host, "_chord_nonce_seq", 0) + 1
+        sequence = host._chord_nonce_seq + 1
         host._chord_nonce_seq = sequence
         return (host.address, sequence)
 
@@ -850,8 +943,11 @@ class _RecursiveLookup:
         self.attempts += 1
         node, host = self.node, self.node.host
         self.nonce = self._next_nonce()
-        self._pending_table()[self.nonce] = self._on_result
-        host.sim.schedule(
+        self.node.host._chord_pending_lookups[self.nonce] = self._on_result
+        # defer, not schedule: the timeout is never cancelled (the nonce
+        # check in _on_attempt_timeout makes stale firings no-ops), so no
+        # handle needs to be allocated -- one per lookup attempt.
+        host.sim.defer(
             node.ring.params.recursive_timeout_ms, self._on_attempt_timeout, self.nonce
         )
         payload = {
@@ -873,7 +969,8 @@ class _RecursiveLookup:
             )
             return
         # First step runs locally: we are a ring member.
-        succ = node.successor
+        successors = node.successors
+        succ = successors[0] if successors else None
         if succ is None:
             self._finish(None, 0)
             return
@@ -890,7 +987,7 @@ class _RecursiveLookup:
     def _on_attempt_timeout(self, nonce: tuple) -> None:
         if self.done or nonce != self.nonce:
             return
-        self._pending_table().pop(nonce, None)
+        self.node.host._chord_pending_lookups.pop(nonce, None)
         if not self.node.host.alive:
             self.done = True
             return
@@ -902,20 +999,21 @@ class _RecursiveLookup:
     def _finish(self, found: Optional[NodeRef], hops: int, timeouts: Optional[int] = None) -> None:
         self.done = True
         if self.nonce is not None:
-            self._pending_table().pop(self.nonce, None)
+            self.node.host._chord_pending_lookups.pop(self.nonce, None)
         sim = self.node.host.sim
-        result = LookupResult(
-            key=self.key,
-            found=found,
-            hops=hops,
-            timeouts=self.attempts - 1 if timeouts is None else timeouts,
-            latency_ms=sim.now - self.started_at,
+        if timeouts is None:
+            timeouts = self.attempts - 1
+        latency_ms = sim.now - self.started_at
+        # See the iterative _finish: tuple.__new__ skips the NamedTuple
+        # constructor frame on the once-per-lookup path.
+        result = _new_lookup_result(
+            LookupResult, (self.key, found, hops, timeouts, latency_ms)
         )
         sim.emit(
             "chord.lookup",
-            ok=result.ok,
-            hops=result.hops,
-            timeouts=result.timeouts,
-            latency_ms=result.latency_ms,
+            ok=found is not None,
+            hops=hops,
+            timeouts=timeouts,
+            latency_ms=latency_ms,
         )
         self.on_done(result)

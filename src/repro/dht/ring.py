@@ -16,6 +16,7 @@ three roles:
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
@@ -88,8 +89,24 @@ class ChordRing:
         self.params = params or RingParams()
         self.space = IdSpace(self.params.bits)
         self._members: Dict[ChordId, "ChordNode"] = {}
+        # Sorted-membership cache: rebuilt lazily after any register /
+        # deregister, so repeated ``members()`` / ``active_members()`` /
+        # ``successor_of()`` calls between membership changes are O(n) copies
+        # (or O(log n) bisects) instead of O(n log n) re-sorts.
+        self._sorted_ids: Optional[List[ChordId]] = None
+        self._sorted_nodes: Optional[List["ChordNode"]] = None
 
     # ------------------------------------------------------------ membership
+    def _invalidate_sorted(self) -> None:
+        self._sorted_ids = None
+        self._sorted_nodes = None
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted_ids is None:
+            self._sorted_ids = sorted(self._members)
+            members = self._members
+            self._sorted_nodes = [members[i] for i in self._sorted_ids]
+
     def register(self, node: "ChordNode") -> None:
         """Record *node* as a joined, routable member (bootstrap registry)."""
         current = self._members.get(node.node_id)
@@ -97,7 +114,9 @@ class ChordRing:
             raise DHTError(
                 f"id {node.node_id} already registered by an active node"
             )
-        self._members[node.node_id] = node
+        if current is not node:
+            self._members[node.node_id] = node
+            self._invalidate_sorted()
 
     def try_register(self, node: "ChordNode") -> bool:
         """Register if the identifier is free (or its holder is dead).
@@ -110,7 +129,9 @@ class ChordRing:
         current = self._members.get(node.node_id)
         if current is not None and current is not node and current.is_active:
             return False
-        self._members[node.node_id] = node
+        if current is not node:
+            self._members[node.node_id] = node
+            self._invalidate_sorted()
         return True
 
     def holder_of(self, node_id: ChordId) -> Optional["ChordNode"]:
@@ -121,14 +142,33 @@ class ChordRing:
         """Remove *node* from the bootstrap registry (on failure or leave)."""
         if self._members.get(node.node_id) is node:
             del self._members[node.node_id]
+            self._invalidate_sorted()
 
     def members(self) -> List["ChordNode"]:
-        """Currently registered members, sorted by identifier."""
-        return [self._members[i] for i in sorted(self._members)]
+        """Currently registered members, sorted by identifier.
+
+        Served from the sorted-membership cache; the returned list is a
+        fresh copy, safe for callers to mutate.
+        """
+        self._ensure_sorted()
+        return list(self._sorted_nodes)
 
     def active_members(self) -> List["ChordNode"]:
         """Registered members whose host is currently alive."""
-        return [n for n in self.members() if n.is_active]
+        self._ensure_sorted()
+        return [n for n in self._sorted_nodes if n.is_active]
+
+    def successor_of(self, key: ChordId) -> Optional["ChordNode"]:
+        """Registered member owning *key* (first id >= key, cyclically).
+
+        O(log n) bisect over the sorted-membership cache; diagnostics and
+        oracle checks use this instead of scanning ``members()``.
+        """
+        self._ensure_sorted()
+        ids = self._sorted_ids
+        if not ids:
+            return None
+        return self._sorted_nodes[bisect_left(ids, key) % len(ids)]
 
     def random_bootstrap(self, rng: random.Random) -> Optional[Address]:
         """Address of a random live member, or None if the ring is empty."""
@@ -172,10 +212,7 @@ class ChordRing:
 
     def _successor_of(self, ids: List[ChordId], ordered: List["ChordNode"], key: ChordId):
         """First node whose id >= key (cyclically) -- warm-start helper."""
-        import bisect
-
-        index = bisect.bisect_left(ids, key)
-        return ordered[index % len(ordered)].ref
+        return ordered[bisect_left(ids, key) % len(ordered)].ref
 
 
 # Imported at the bottom to break the node <-> ring reference cycle for type

@@ -31,14 +31,28 @@ from repro.types import ObjectKey
 
 
 class ExactSummary:
-    """Exact set-of-keys summary."""
+    """Exact set-of-keys summary with copy-on-write snapshots.
+
+    ``snapshot()`` used to eagerly copy the whole key set -- once per gossip
+    exchange per peer, i.e. thousands of copies per simulated hour.  Instead,
+    a snapshot now *shares* the underlying set and both sides are marked
+    shared; the first subsequent ``add`` on either side copies before
+    writing.  Receivers only ever call ``contains``, so in the common case
+    no copy is ever made and a snapshot is O(1).
+    """
+
+    __slots__ = ("_keys", "_shared")
 
     kind = "exact"
 
     def __init__(self, keys: Iterable[ObjectKey] = ()) -> None:
         self._keys: Set[ObjectKey] = set(keys)
+        self._shared = False
 
     def add(self, key: ObjectKey) -> None:
+        if self._shared:
+            self._keys = set(self._keys)  # copy-on-write
+            self._shared = False
         self._keys.add(key)
 
     def contains(self, key: ObjectKey) -> bool:
@@ -48,7 +62,12 @@ class ExactSummary:
         return len(self._keys)
 
     def snapshot(self) -> "ExactSummary":
-        return ExactSummary(self._keys)
+        """An immutable-by-sharing value copy, O(1) until someone writes."""
+        self._shared = True
+        copy = ExactSummary.__new__(ExactSummary)
+        copy._keys = self._keys
+        copy._shared = True
+        return copy
 
     def keys(self) -> Set[ObjectKey]:
         """The exact key set (used by directory peers to rebuild indexes)."""

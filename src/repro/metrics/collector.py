@@ -26,8 +26,7 @@ outcome             meaning                                        P2P hit?
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, NamedTuple, Optional
 
 from repro.errors import CDNError
 from repro.types import LocalityId, ObjectKey, WebsiteId
@@ -43,9 +42,14 @@ MISS_OUTCOMES = frozenset({"miss_server", "miss_failed"})
 ALL_OUTCOMES = HIT_OUTCOMES | MISS_OUTCOMES
 
 
-@dataclass(frozen=True)
-class QueryRecord:
+class QueryRecord(NamedTuple):
     """The measured life of one query.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one record is built per
+    query for the whole run, and a frozen dataclass pays an
+    ``object.__setattr__`` call *per field* in ``__init__`` -- roughly an
+    order of magnitude slower to construct.  The API (keyword construction,
+    immutability, field access, eq/repr) is unchanged.
 
     Attributes:
         time: simulation time the query completed (ms).

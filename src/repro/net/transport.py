@@ -17,15 +17,20 @@ value becomes the RPC reply payload.
 
 from __future__ import annotations
 
-import itertools
 import random
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from collections import defaultdict
+from heapq import heappush
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.net.message import Message
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 from repro.types import Address
+
+#: ``Message.__new__`` bound once -- the hot send/rpc paths build envelopes
+#: by slot assignment instead of paying a constructor frame per message.
+_new_message = Message.__new__
 
 #: Called with the RPC reply payload when the response arrives.
 ReplyCallback = Callable[[Dict[str, Any]], None]
@@ -54,6 +59,15 @@ class NetworkNode:
         self.network = network
         self.sim: Simulator = network.sim
         self.alive = True
+        #: kind -> bound handler method, resolved once per kind (dispatch
+        #: runs for every delivered message; the getattr + str.replace pair
+        #: is too expensive to repeat hundreds of thousands of times).
+        self._handler_cache: Dict[str, Callable[[Message], Optional[Dict[str, Any]]]] = {}
+        #: per-host Chord lookup correlation state (owned by repro.dht.node;
+        #: pre-created here so the recursive-lookup hot path uses direct
+        #: attribute access instead of getattr-with-default).
+        self._chord_pending_lookups: Dict[Any, Callable[[Dict[str, Any]], None]] = {}
+        self._chord_nonce_seq = 0
         self.address: Address = network.register(self, cluster_hint)
 
     # ------------------------------------------------------------- liveness
@@ -74,9 +88,54 @@ class NetworkNode:
         self.alive = True
 
     # ------------------------------------------------------------ messaging
+    #
+    # send/rpc carry the full transmit path inline (latency-cache lookup,
+    # event pushes) rather than delegating to Network methods: these two are
+    # called once per message in the whole system, and the wrapper frames
+    # plus re-dispatch measurably slow the canonical benchmark.  The
+    # Network.send / Network.rpc methods remain as thin delegates for
+    # callers holding only the network.
+
     def send(self, dst: Address, kind: str, **payload: Any) -> None:
-        """Fire-and-forget one-way message."""
-        self.network.send(self, dst, kind, payload)
+        """Fire-and-forget one-way message; delivered after the link latency
+        if the destination is alive at delivery time."""
+        if not self.alive:
+            return  # a crashed node sends nothing
+        network = self.network
+        sim = network.sim
+        now = sim.now
+        src_addr = self.address
+        # Message construction, inlined (__new__ + slot stores): the
+        # constructor frame is pure overhead on a path this frequent.
+        message = _new_message(Message)
+        message.src = src_addr
+        message.dst = dst
+        message.kind = kind
+        message.payload = payload
+        message.sent_at = now
+        message.request_id = None
+        network.messages_sent += 1
+        network.kind_counts[kind] += 1
+        # Network._link_latency, inlined (int key: see that method).
+        cache = network._latency_cache
+        latency = cache.get((src_addr << 20) | dst)
+        if latency is None:
+            latency = network.topology.latency(src_addr, dst)
+            cache[(src_addr << 20) | dst] = latency
+        if network.faults is not None:
+            latency = network.faults.latency_adjust(src_addr, dst, latency)
+        # sim.defer, inlined (one delivery event per message).
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heappush(
+            queue._heap,
+            [now + latency, seq, network._deliver_cb, (message, None)],
+        )
+        live = queue._live + 1
+        queue._live = live
+        if live > queue._peak:
+            queue._peak = live
 
     def rpc(
         self,
@@ -87,8 +146,66 @@ class NetworkNode:
         on_timeout: Optional[FailureCallback] = None,
         timeout_ms: Optional[float] = None,
     ) -> None:
-        """Request/response with a timeout (see :meth:`Network.rpc`)."""
-        self.network.rpc(self, dst, kind, payload or {}, on_reply, on_timeout, timeout_ms)
+        """Request/response with a timeout (semantics in :meth:`Network.rpc`)."""
+        if not self.alive:
+            return
+        network = self.network
+        if timeout_ms is None:
+            timeout_ms = network.default_timeout_ms
+        sim = network.sim
+        now = sim.now
+        src_addr = self.address
+        # Message + context construction, inlined (__new__ + slot stores):
+        # two constructor frames per RPC are pure overhead at this rate.
+        message = _new_message(Message)
+        message.src = src_addr
+        message.dst = dst
+        message.kind = kind
+        message.payload = {} if payload is None else payload
+        message.sent_at = now
+        network.messages_sent += 1
+        network.kind_counts[kind] += 1
+        context = _new_rpc_context(_RpcContext)
+        context.src = self
+        context.on_reply = on_reply
+        context.on_timeout = on_timeout
+        context.settled = False
+        # Network._link_latency, inlined (int key: see that method).
+        cache = network._latency_cache
+        latency = cache.get((src_addr << 20) | dst)
+        if latency is None:
+            latency = network.topology.latency(src_addr, dst)
+            cache[(src_addr << 20) | dst] = latency
+        if network.faults is not None:
+            latency = network.faults.latency_adjust(src_addr, dst, latency)
+        # Two sim.defer calls, inlined: timeout event then request delivery
+        # (the timeout takes the lower sequence number, exactly as two
+        # sequential defers would assign).
+        queue = sim._queue
+        heap = queue._heap
+        seq = queue._seq
+        queue._seq = seq + 2
+        # The event sequence number doubles as the correlation id: it is
+        # unique per scheduled event, so per RPC, and already in hand.
+        message.request_id = seq
+        # The context object is itself the timeout callback (__call__ is
+        # fire_timeout): no bound-method allocation per RPC.  The context
+        # keeps a reference to its timeout entry so that settling the RPC
+        # can swap the callback slot for a C-level no-op -- the event still
+        # executes (identical event stream and counts), but the vast
+        # majority of timeouts, which fire after their RPC has already been
+        # answered, no longer pay a Python frame just to return early.
+        timeout_entry: List[Any] = [now + timeout_ms, seq, context, ()]
+        context.entry = timeout_entry
+        heappush(heap, timeout_entry)
+        heappush(
+            heap,
+            [now + latency, seq + 1, network._deliver_cb, (message, context)],
+        )
+        live = queue._live + 2
+        queue._live = live
+        if live > queue._peak:
+            queue._peak = live
 
     def retrying_rpc(
         self,
@@ -138,7 +255,7 @@ class NetworkNode:
                 self.sim.emit(
                     "net.rpc_retry", rpc_kind=kind, dst=dst, attempt=number + 1
                 )
-                self.sim.schedule(delay, attempt, number + 1)
+                self.sim.defer(delay, attempt, number + 1)
 
             self.rpc(dst, kind, dict(body), on_reply, on_timeout, timeout_ms)
 
@@ -146,12 +263,16 @@ class NetworkNode:
 
     def on_message(self, message: Message) -> Optional[Dict[str, Any]]:
         """Dispatch to ``handle_<kind>``.  Subclasses rarely override this."""
-        handler = getattr(self, "handle_" + message.kind.replace(".", "_"), None)
+        kind = message.kind
+        handler = self._handler_cache.get(kind)
         if handler is None:
-            raise TransportError(
-                f"{type(self).__name__} at {self.address} has no handler "
-                f"for message kind {message.kind!r}"
-            )
+            handler = getattr(self, "handle_" + kind.replace(".", "_"), None)
+            if handler is None:
+                raise TransportError(
+                    f"{type(self).__name__} at {self.address} has no handler "
+                    f"for message kind {message.kind!r}"
+                )
+            self._handler_cache[kind] = handler
         return handler(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -182,14 +303,24 @@ class Network:
         self._drop_rate = 0.0
         self._drop_rng: Optional["random.Random"] = None
         self._nodes: List[NetworkNode] = []
-        self._request_ids = itertools.count(1)
+        #: memoized symmetric base link latencies, keyed (min(a,b), max(a,b)).
+        #: Topology positions are immutable after registration, so entries
+        #: never go stale; fault-injected adjustments are applied on top and
+        #: are never cached.
+        self._latency_cache: Dict[Tuple[Address, Address], float] = {}
+        #: bound delivery callbacks, created once -- every scheduled message
+        #: event would otherwise allocate a fresh bound method.
+        self._deliver_cb = self._deliver
+        self._deliver_reply_cb = self._deliver_reply
         self.messages_sent = 0
         #: drop cause -> count; see :data:`DROP_CAUSES`.  ``messages_dropped``
         #: (the historical single counter) is the sum over all causes.
         self.drop_counts: Dict[str, int] = {cause: 0 for cause in DROP_CAUSES}
         #: message kind -> number sent; the raw material of the overhead
         #: analysis ("minimizing the incurred overhead" -- paper section 1).
-        self.kind_counts: Dict[str, int] = {}
+        #: A defaultdict so the hot send/rpc paths bump it with a single
+        #: subscript instead of a ``get``-then-store pair.
+        self.kind_counts: Dict[str, int] = defaultdict(int)
         #: optional :class:`~repro.net.faults.FaultController`; consulted at
         #: scheduling time (latency degradation) and delivery time (partition
         #: cuts, bursty loss).
@@ -271,8 +402,20 @@ class Network:
         return iter(self._nodes)
 
     def _link_latency(self, src: Address, dst: Address) -> float:
-        """Base latency plus any active fault-injected degradation."""
-        base = self.topology.latency(src, dst)
+        """Base latency plus any active fault-injected degradation.
+
+        Base latencies are memoized per directed pair (topologies are static;
+        symmetric pairs simply occupy two entries).  Keys are single ints --
+        ``(src << 20) | dst`` -- because an int hash is markedly cheaper than
+        building and hashing a tuple on every send/rpc/reply.  Addresses are
+        sequential node indices, far below 2**20.
+        """
+        key = (src << 20) | dst
+        cache = self._latency_cache
+        base = cache.get(key)
+        if base is None:
+            base = self.topology.latency(src, dst)
+            cache[key] = base
         if self.faults is not None:
             return self.faults.latency_adjust(src, dst, base)
         return base
@@ -289,13 +432,18 @@ class Network:
         kind: str,
         payload: Dict[str, Any],
     ) -> None:
-        """One-way message; delivered after the link latency if dst is alive."""
+        """One-way message; delivered after the link latency if dst is alive.
+
+        Cold-path twin of :meth:`NetworkNode.send` (the hot entry point,
+        which inlines this logic) for callers holding only the network.
+        """
         if not src.alive:
             return  # a crashed node sends nothing
-        message = Message(src.address, dst, kind, payload, sent_at=self.sim.now)
+        sim = self.sim
+        message = Message(src.address, dst, kind, payload, sent_at=sim.now)
         self.messages_sent += 1
-        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
-        self.sim.schedule(self._link_latency(src.address, dst), self._deliver, message, None)
+        self.kind_counts[kind] += 1
+        sim.defer(self._link_latency(src.address, dst), self._deliver, message, None)
 
     def rpc(
         self,
@@ -318,20 +466,11 @@ class Network:
 
         Callbacks are suppressed if the *source* has died in the meantime
         (a dead peer processes nothing, including its own timers).
+
+        Thin delegate: the transmit path lives in :meth:`NetworkNode.rpc`
+        (the hot entry point).
         """
-        if not src.alive:
-            return
-        if timeout_ms is None:
-            timeout_ms = self.default_timeout_ms
-        message = Message(
-            src.address, dst, kind, payload,
-            sent_at=self.sim.now, request_id=next(self._request_ids),
-        )
-        self.messages_sent += 1
-        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
-        context = _RpcContext(src, on_reply, on_timeout)
-        self.sim.schedule(timeout_ms, context.fire_timeout)
-        self.sim.schedule(self._link_latency(src.address, dst), self._deliver, message, context)
+        src.rpc(dst, kind, payload, on_reply, on_timeout, timeout_ms)
 
     def _delivery_drop_cause(self, src: Address, dst: Address) -> Optional[str]:
         """Why a delivery on link src -> dst is lost right now, if at all."""
@@ -339,29 +478,58 @@ class Network:
             cause = self.faults.drop_cause(src, dst)
             if cause is not None:
                 return cause
-        if self._lost():
+        if self._drop_rate > 0.0 and self._lost():
             return "loss"
         return None
 
     def _deliver(self, message: Message, context: Optional["_RpcContext"]) -> None:
-        dst_node = self._nodes[message.dst] if 0 <= message.dst < len(self._nodes) else None
+        dst = message.dst
+        nodes = self._nodes
+        dst_node = nodes[dst] if 0 <= dst < len(nodes) else None
         if dst_node is None or not dst_node.alive:
-            self._drop("dead_dst", message.kind, message.dst)
+            self._drop("dead_dst", message.kind, dst)
             return
-        cause = self._delivery_drop_cause(message.src, message.dst)
-        if cause is not None:
-            self._drop(cause, message.kind, message.dst)
-            return
-        reply = dst_node.on_message(message)
+        if self.faults is not None or self._drop_rate > 0.0:
+            cause = self._delivery_drop_cause(message.src, dst)
+            if cause is not None:
+                self._drop(cause, message.kind, dst)
+                return
+        # Cache-first dispatch: a node's ``_handler_cache`` only ever holds
+        # handlers whose invocation is behaviourally identical to running the
+        # node's full ``on_message`` for that kind (overrides special-case
+        # their kinds *before* the caching tail, or pre-register equivalent
+        # wrappers), so a hit here skips one Python frame per delivery.
+        handler = dst_node._handler_cache.get(message.kind)
+        reply = dst_node.on_message(message) if handler is None else handler(message)
         if context is not None:
             self.messages_sent += 1
-            self.sim.schedule(
-                self._link_latency(message.dst, message.src),
-                self._deliver_reply,
-                context,
-                message.dst,
-                reply if reply is not None else {},
+            src = message.src
+            # Network._link_latency, inlined (int key: see that method).
+            cache = self._latency_cache
+            latency = cache.get((dst << 20) | src)
+            if latency is None:
+                latency = self.topology.latency(dst, src)
+                cache[(dst << 20) | src] = latency
+            if self.faults is not None:
+                latency = self.faults.latency_adjust(dst, src, latency)
+            # sim.defer, inlined (one reply event per answered RPC).
+            sim = self.sim
+            queue = sim._queue
+            seq = queue._seq
+            queue._seq = seq + 1
+            heappush(
+                queue._heap,
+                [
+                    sim.now + latency,
+                    seq,
+                    self._deliver_reply_cb,
+                    (context, dst, reply if reply is not None else {}),
+                ],
             )
+            live = queue._live + 1
+            queue._live = live
+            if live > queue._peak:
+                queue._peak = live
 
     def _deliver_reply(
         self,
@@ -369,17 +537,39 @@ class Network:
         replier: Address,
         payload: Dict[str, Any],
     ) -> None:
-        cause = self._delivery_drop_cause(replier, context.src.address)
-        if cause is not None:
-            self._drop(cause, "(reply)", context.src.address)
+        # Same fast-path guard as request delivery: with no fault controller
+        # and no configured loss, a reply cannot be dropped, so skip the
+        # cause computation entirely (one reply per answered RPC).
+        if self.faults is not None or self._drop_rate > 0.0:
+            cause = self._delivery_drop_cause(replier, context.src.address)
+            if cause is not None:
+                self._drop(cause, "(reply)", context.src.address)
+                return
+        # context.fire_reply, inlined (it is the tail of every answered RPC).
+        if context.settled or not context.src.alive:
             return
-        context.fire_reply(payload)
+        context.settled = True
+        entry = context.entry
+        if entry is not None and entry[2] is context:
+            # Swap the pending timeout's callback for a C-level no-op: the
+            # event still executes (identical stream and counts) but skips
+            # the Python frame it would burn just to see ``settled``.
+            entry[2] = _NOOP
+        on_reply = context.on_reply
+        if on_reply is not None:
+            on_reply(payload)
+
+
+#: C-level no-op swapped into a settled RPC's timeout event (see
+#: ``NetworkNode.rpc``): ``int()`` takes no arguments, allocates nothing
+#: (it returns the cached zero) and costs no Python frame.
+_NOOP = int
 
 
 class _RpcContext:
     """Correlates one RPC's reply and timeout; whichever fires first wins."""
 
-    __slots__ = ("src", "on_reply", "on_timeout", "settled")
+    __slots__ = ("src", "on_reply", "on_timeout", "settled", "entry")
 
     def __init__(
         self,
@@ -391,11 +581,15 @@ class _RpcContext:
         self.on_reply = on_reply
         self.on_timeout = on_timeout
         self.settled = False
+        self.entry = None
 
     def fire_reply(self, payload: Dict[str, Any]) -> None:
         if self.settled or not self.src.alive:
             return
         self.settled = True
+        entry = self.entry
+        if entry is not None and entry[2] is self:
+            entry[2] = _NOOP  # the pending timeout becomes a free event
         if self.on_reply is not None:
             self.on_reply(payload)
 
@@ -405,3 +599,11 @@ class _RpcContext:
         self.settled = True
         if self.on_timeout is not None:
             self.on_timeout()
+
+    #: The context doubles as its own timeout callback, so scheduling the
+    #: timeout event does not allocate a bound method per RPC.
+    __call__ = fire_timeout
+
+
+#: ``_RpcContext.__new__`` bound once -- see ``_new_message`` above.
+_new_rpc_context = _RpcContext.__new__

@@ -1,45 +1,71 @@
 """The event heap.
 
-Events are ``(time, sequence, callback)`` triples kept in a binary heap.  The
-monotonically increasing sequence number breaks ties between events scheduled
-for the same instant, so execution order is fully deterministic: events fire
-in scheduling order when their times are equal.
+Events are slotted heap entries -- plain lists ``[time, seq, callback,
+args]`` kept in a binary heap.  The monotonically increasing sequence number
+breaks ties between events scheduled for the same instant, so execution
+order is fully deterministic: events fire in scheduling order when their
+times are equal.
 
-Cancellation is *lazy*: :meth:`EventHandle.cancel` marks the handle and the
-queue discards cancelled entries when they surface at the top of the heap.
-This is the standard approach (also used by ``sched`` and asyncio) and keeps
-both ``schedule`` and ``cancel`` O(log n) / O(1).
+Representation notes (the hot path of the whole simulator):
+
+- Heap entries are *lists*, not handle objects.  ``heapq`` then compares
+  entries with C-level list comparison (``time`` first, the unique ``seq``
+  second -- the callback is never reached), instead of calling a
+  Python-level ``__lt__`` millions of times per run.
+- :class:`EventHandle` is a thin, lazily allocated view over an entry; the
+  common fire-and-forget schedules (message deliveries, RPC timeouts) can
+  use :meth:`EventQueue.push_anon` and skip the handle allocation entirely.
+- Cancellation is *lazy*: cancelling nulls the entry's callback slot
+  (a tombstone) and the queue discards tombstones when they surface at the
+  top of the heap.  This is the standard approach (also used by ``sched``
+  and asyncio) and keeps both ``schedule`` and ``cancel`` O(log n) / O(1).
+- Tombstones are additionally *compacted*: when more than half the heap is
+  dead (cancel/reschedule storms under churn), the queue rebuilds itself
+  from the live entries in O(n), bounding memory and pop cost.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
+
+#: Entry slot indices (an entry is ``[time, seq, callback, args]``).
+_TIME, _SEQ, _CALLBACK, _ARGS = 0, 1, 2, 3
+
+#: Tombstone count above which compaction is considered at all.
+_COMPACT_MIN_DEAD = 64
 
 
 class EventHandle:
     """A scheduled event that can be cancelled before it fires.
 
     Instances are returned by :meth:`EventQueue.push` (and therefore by
-    ``Simulator.schedule``).  They order by ``(time, seq)`` so they can live
-    directly inside the heap.
+    ``Simulator.schedule``).  A handle is a view over the underlying heap
+    entry; ``time``/``seq``/``callback``/``args`` read through to it.
+    Handles order by ``(time, seq)``, mirroring heap order.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("_entry", "cancelled")
 
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[..., Any],
-        args: Tuple[Any, ...] = (),
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback: Optional[Callable[..., Any]] = callback
-        self.args = args
+    def __init__(self, entry: List[Any]) -> None:
+        self._entry = entry
         self.cancelled = False
+
+    @property
+    def time(self) -> float:
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[_SEQ]
+
+    @property
+    def callback(self) -> Optional[Callable[..., Any]]:
+        return self._entry[_CALLBACK]
+
+    @property
+    def args(self) -> Tuple[Any, ...]:
+        return self._entry[_ARGS]
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent.
@@ -49,23 +75,26 @@ class EventHandle:
         from the heap.
         """
         self.cancelled = True
-        self.callback = None
-        self.args = ()
+        entry = self._entry
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()
 
     @property
     def active(self) -> bool:
         """True while the event is still pending (not cancelled, not fired)."""
-        return not self.cancelled and self.callback is not None
+        return not self.cancelled and self._entry[_CALLBACK] is not None
 
     def _fire(self) -> None:
-        callback, args = self.callback, self.args
-        self.callback = None
-        self.args = ()
+        entry = self._entry
+        callback, args = entry[_CALLBACK], entry[_ARGS]
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()
         if callback is not None:
             callback(*args)
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        a, b = self._entry, other._entry
+        return (a[_TIME], a[_SEQ]) < (b[_TIME], b[_SEQ])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -73,12 +102,16 @@ class EventHandle:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`EventHandle` objects."""
+    """A deterministic priority queue of slotted event entries."""
+
+    __slots__ = ("_heap", "_seq", "_live", "_dead", "_peak")
 
     def __init__(self) -> None:
-        self._heap: List[EventHandle] = []
-        self._counter = itertools.count()
+        self._heap: List[List[Any]] = []
+        self._seq = 0
         self._live = 0
+        self._dead = 0  # tombstones still sitting in the heap
+        self._peak = 0  # high-water mark of pending events
 
     def __len__(self) -> int:
         """Number of *pending* (non-cancelled) events."""
@@ -87,6 +120,11 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of simultaneously pending events."""
+        return self._peak
+
     def push(
         self,
         time: float,
@@ -94,17 +132,42 @@ class EventQueue:
         args: Tuple[Any, ...] = (),
     ) -> EventHandle:
         """Schedule *callback(*args)* at absolute *time*; return its handle."""
-        handle = EventHandle(time, next(self._counter), callback, args)
-        heapq.heappush(self._heap, handle)
-        self._live += 1
-        return handle
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [time, seq, callback, args]
+        heappush(self._heap, entry)
+        live = self._live + 1
+        self._live = live
+        if live > self._peak:
+            self._peak = live
+        return EventHandle(entry)
+
+    def push_anon(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        """Schedule without allocating a handle (fire-and-forget events).
+
+        Identical ordering semantics to :meth:`push`; the event simply
+        cannot be cancelled.  Used by the hot transport paths (message
+        deliveries, RPC timeouts) where the handle is never looked at.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, [time, seq, callback, args])
+        live = self._live + 1
+        self._live = live
+        if live > self._peak:
+            self._peak = live
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         self._discard_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][_TIME]
 
     def pop(self) -> EventHandle:
         """Remove and return the next pending event.
@@ -115,25 +178,47 @@ class EventQueue:
         self._discard_cancelled()
         if not self._heap:
             raise IndexError("pop from an empty event queue")
-        handle = heapq.heappop(self._heap)
+        entry = heappop(self._heap)
         self._live -= 1
-        return handle
+        return EventHandle(entry)
 
     def notify_cancelled(self) -> None:
         """Account for one externally cancelled handle.
 
         The queue cannot observe :meth:`EventHandle.cancel` directly, so the
-        owner (the simulator) calls this to keep ``len()`` accurate.
+        owner (the simulator) calls this to keep ``len()`` accurate.  When
+        tombstones come to dominate the heap, the queue compacts itself.
         """
         if self._live > 0:
             self._live -= 1
+        dead = self._dead + 1
+        self._dead = dead
+        if dead > _COMPACT_MIN_DEAD and dead * 2 > len(self._heap):
+            self._compact()
 
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
         self._live = 0
+        self._dead = 0
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries only (O(n)).
+
+        The rebuild is *in place* (slice assignment) so the heap list object
+        is stable for the queue's whole lifetime -- ``Simulator.run`` hoists
+        its reference out of the event loop.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if entry[_CALLBACK] is not None]
+        heapify(heap)
+        self._dead = 0
 
     def _discard_cancelled(self) -> None:
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        dead = self._dead
+        while heap and heap[0][_CALLBACK] is None:
+            heappop(heap)
+            if dead > 0:
+                dead -= 1
+        self._dead = dead

@@ -6,12 +6,22 @@ for every event type, and optionally full records for the types a test or
 experiment subscribes to.  Keeping full records opt-in matters: a 24-hour
 run at P=5000 emits millions of events, and the metrics collector only needs
 a few types.
+
+Fast path: the recorder maintains one set, :attr:`_watched`, of every kind
+that has a listener or is being recorded, plus two flags -- ``_watch_all``
+(a firehose listener exists) and ``_counting`` (per-kind counters are
+maintained; on by default).  ``Simulator.emit`` reads those three attributes
+directly: when counting is disabled and a kind is unobserved, an emit is a
+couple of attribute loads and a set-membership test -- no
+:class:`TraceEvent` is built, nothing is appended anywhere.  Perf-critical
+call sites can additionally guard on ``Simulator.tracing(kind)`` to skip
+even the payload keyword-dict construction.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Any, Callable, DefaultDict, Dict, List, NamedTuple, Optional
+from typing import Any, Callable, DefaultDict, Dict, List, NamedTuple, Optional, Set
 
 
 class TraceEvent(NamedTuple):
@@ -27,35 +37,92 @@ TraceListener = Callable[[TraceEvent], None]
 
 
 class TraceRecorder:
-    """Counts every event kind; records and/or forwards subscribed kinds."""
+    """Counts every event kind; records and/or forwards subscribed kinds.
 
-    def __init__(self) -> None:
+    Args:
+        counting: maintain the per-kind emit counters (default True; disable
+            for throughput-critical runs that do not read ``count()``).
+    """
+
+    def __init__(self, counting: bool = True) -> None:
         self.counters: Counter = Counter()
         self._recorded: DefaultDict[str, List[TraceEvent]] = defaultdict(list)
-        self._record_kinds: set = set()
+        self._record_kinds: Set[str] = set()
         self._listeners: DefaultDict[str, List[TraceListener]] = defaultdict(list)
+        self._all_listeners: List[TraceListener] = []
+        # --- fast-path interest flags (read directly by Simulator.emit) ---
+        self._counting = counting
+        self._watch_all = False
+        self._watched: Set[str] = set()
 
+    # -------------------------------------------------------------- interest
+    @property
+    def counting(self) -> bool:
+        """Whether per-kind counters are being maintained."""
+        return self._counting
+
+    def set_counting(self, enabled: bool) -> None:
+        """Enable/disable the per-kind counters.
+
+        With counting off and no subscriptions, emits are (near) zero-cost;
+        ``count()`` then reports only what was counted while enabled.
+        """
+        self._counting = enabled
+
+    def wants(self, kind: str) -> bool:
+        """True if emitting *kind* would be observed (counted, recorded,
+        or forwarded to a listener)."""
+        return self._counting or self._watch_all or kind in self._watched
+
+    @property
+    def enabled(self) -> bool:
+        """True unless the recorder is fully quiet (no counting, no
+        subscriptions of any sort)."""
+        return self._counting or self._watch_all or bool(self._watched)
+
+    # --------------------------------------------------------- subscriptions
     def record(self, *kinds: str) -> None:
         """Start keeping full :class:`TraceEvent` records for *kinds*."""
         self._record_kinds.update(kinds)
+        self._watched.update(kinds)
 
     def subscribe(self, kind: str, listener: TraceListener) -> None:
         """Invoke *listener* synchronously for every event of *kind*."""
         self._listeners[kind].append(listener)
+        self._watched.add(kind)
 
+    def subscribe_all(self, listener: TraceListener) -> None:
+        """Invoke *listener* for every event of every kind (the firehose).
+
+        Used by determinism regression tests to fingerprint the full ordered
+        event stream.  Kind-specific listeners fire before firehose
+        listeners for any given event.
+        """
+        self._all_listeners.append(listener)
+        self._watch_all = True
+
+    # ------------------------------------------------------------------ emit
     def emit(self, time: float, kind: str, **payload: Any) -> None:
         """Emit one event.  Cheap (one Counter update) unless subscribed."""
-        self.counters[kind] += 1
-        listeners = self._listeners.get(kind)
-        if listeners is None and kind not in self._record_kinds:
-            return
-        event = TraceEvent(time, kind, payload)
+        if self._counting:
+            self.counters[kind] += 1
+        if self._watch_all or kind in self._watched:
+            self._dispatch(TraceEvent(time, kind, payload))
+
+    def _dispatch(self, event: TraceEvent) -> None:
+        """Record/forward an event already known to be of interest."""
+        kind = event.kind
         if kind in self._record_kinds:
             self._recorded[kind].append(event)
+        listeners = self._listeners.get(kind)
         if listeners:
             for listener in listeners:
                 listener(event)
+        if self._watch_all:
+            for listener in self._all_listeners:
+                listener(event)
 
+    # ----------------------------------------------------------------- query
     def events(self, kind: str) -> List[TraceEvent]:
         """All recorded events of *kind* (empty if not subscribed)."""
         return self._recorded.get(kind, [])

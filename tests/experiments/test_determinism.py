@@ -1,0 +1,102 @@
+"""Determinism regression: same seed => bit-identical event stream.
+
+The performance work rewrote the event queue, the dispatch loop and many
+hot protocol paths.  All of it is only admissible because the simulated
+*behaviour* is unchanged: the full ordered stream of trace events, and
+every summary statistic derived from it, must be reproducible bit-for-bit
+from the seed -- and must not depend on whether anyone is tracing.
+
+The golden SHA-256 fingerprints below chain
+``repr((round(time, 9), kind, sorted(payload.items())))`` over every event
+seen by a :meth:`~repro.sim.trace.TraceRecorder.subscribe_all` firehose.
+If a change moves one of these hashes, it reordered, added, dropped or
+altered at least one event: that is a behaviour change and must be called
+out (and the goldens re-derived) explicitly, never absorbed silently into
+a "performance" commit.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_world
+
+#: protocol -> (stream SHA-256, hit ratio) for GOLDEN_CONFIG at seed 1.
+GOLDEN = {
+    "flower": (
+        "e5db9c19732a0f7bc87e9af67d485226c2fdef578d9783197a8ff28114dc7eb1",
+        0.7420758234928527,
+    ),
+    "squirrel": (
+        "39c407a87c54b0bdc2feb0ab573eb74ed3e754ea7dadaac0833452328fa382b2",
+        0.6013110846245531,
+    ),
+}
+
+SEED = 1
+
+
+def golden_config() -> ExperimentConfig:
+    return ExperimentConfig.scaled(
+        population=120,
+        duration_hours=6.0,
+        num_websites=6,
+        num_active_websites=2,
+        num_localities=2,
+        objects_per_website=40,
+    )
+
+
+def run_world(protocol: str, firehose: bool):
+    """Run the golden scenario; return (sha_or_None, hit_ratio, events)."""
+    world = build_world(protocol, golden_config(), SEED)
+    digest = None
+    if firehose:
+        h = hashlib.sha256()
+
+        def on_event(event, _h=h):
+            _h.update(
+                repr(
+                    (round(event.time, 9), event.kind, sorted(event.payload.items()))
+                ).encode()
+            )
+
+        world.sim.trace.subscribe_all(on_event)
+    world.run()
+    if firehose:
+        digest = h.hexdigest()
+    return digest, world.system.metrics.hit_ratio(), world.sim.events_executed
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+def test_golden_stream_fingerprint(protocol):
+    """The full ordered event stream matches the pinned golden hash."""
+    sha, hit_ratio, _ = run_world(protocol, firehose=True)
+    golden_sha, golden_hit = GOLDEN[protocol]
+    assert sha == golden_sha
+    assert hit_ratio == golden_hit  # exact: same floats in the same order
+
+
+@pytest.mark.slow
+def test_same_seed_reruns_are_bit_identical():
+    """Two fresh worlds from the same seed produce the same stream."""
+    first = run_world("flower", firehose=True)
+    second = run_world("flower", firehose=True)
+    assert first == second
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+def test_tracing_does_not_change_results(protocol):
+    """Zero-cost tracing really is observation-only.
+
+    The subscriber-gated emit path skips event construction when nobody
+    listens; a bug there (e.g. a payload expression with a side effect
+    hidden behind the gate) would make traced and untraced runs diverge.
+    """
+    _, traced_hit, traced_events = run_world(protocol, firehose=True)
+    _, quiet_hit, quiet_events = run_world(protocol, firehose=False)
+    assert traced_events == quiet_events
+    assert traced_hit == quiet_hit
