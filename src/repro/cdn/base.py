@@ -135,8 +135,16 @@ class ProtocolParams:
 class BasePeer(NetworkNode):
     """One participant: identity, interest, cache, query process.
 
-    Subclasses implement :meth:`resolve_query` (protocol-specific) and the
+    Subclasses implement :meth:`_resolve_query` (protocol-specific) and the
     session hooks :meth:`_on_session_begin` / :meth:`_on_crash`.
+
+    Query lifecycle ledger: every query registered by :meth:`resolve_query`
+    is tracked in ``_open_queries`` until :meth:`_finish_query` finalizes it
+    exactly once.  A crash finalizes all still-open queries with the
+    terminal ``failed_crash`` outcome, and stale completion callbacks from a
+    previous session (crash + re-join inside an RPC window) are suppressed
+    -- the invariant auditor (:mod:`repro.chaos`) checks that no query is
+    ever lost or double-resolved.
     """
 
     def __init__(
@@ -161,6 +169,8 @@ class BasePeer(NetworkNode):
         self.queries_issued = 0
         self.sessions = 0
         self._query_process: Optional[PeriodicProcess] = None
+        #: key -> issue time of queries not yet finalized (the ledger).
+        self._open_queries: Dict[ObjectKey, float] = {}
 
     # ------------------------------------------------------------- lifecycle
     def begin_session(self) -> None:
@@ -174,8 +184,45 @@ class BasePeer(NetworkNode):
     def crash(self) -> None:
         """Fail abruptly (the paper's only departure mode)."""
         self._stop_query_process()
+        self._abort_open_queries()
         self._on_crash()
         self.fail()
+
+    def _abort_open_queries(self) -> None:
+        """Finalize every in-flight query with a terminal ``failed_crash``.
+
+        Without this sweep a crash would leak open ledger entries: the
+        in-flight RPC replies and timeouts of a dead peer are suppressed by
+        the transport, so no completion path would ever run.  The paper
+        never counts these as queries served, so they are recorded under
+        the failed (neither-hit-nor-miss) outcome family.
+        """
+        if not self._open_queries:
+            return
+        sim = self.sim
+        metrics = self.system.metrics
+        tracing = sim.tracing("cdn.query_done")
+        for key, started_at in self._open_queries.items():
+            metrics.record(
+                QueryRecord(
+                    time=sim.now,
+                    website=key[0],
+                    object_key=key,
+                    locality=self.locality,
+                    outcome="failed_crash",
+                    lookup_latency_ms=sim.now - started_at,
+                    transfer_ms=0.0,
+                    hops=0,
+                )
+            )
+            if tracing:
+                sim.emit(
+                    "cdn.query_done",
+                    outcome="failed_crash",
+                    peer=self.address,
+                    key=key,
+                )
+        self._open_queries.clear()
 
     def _on_session_begin(self) -> None:
         """Protocol hook: join overlays, register with the petal, ..."""
@@ -224,6 +271,18 @@ class BasePeer(NetworkNode):
         self.resolve_query(key, started_at=self.sim.now)
 
     def resolve_query(self, key: ObjectKey, started_at: float) -> None:
+        """Resolve *key*: open a ledger entry, then run the protocol.
+
+        Template method: the ledger bookkeeping is shared, the actual
+        resolution strategy lives in the protocol's :meth:`_resolve_query`.
+        Every opened entry is closed exactly once -- by
+        :meth:`_finish_query` on completion or by :meth:`_abort_open_queries`
+        on crash.
+        """
+        self._open_queries[key] = started_at
+        self._resolve_query(key, started_at)
+
+    def _resolve_query(self, key: ObjectKey, started_at: float) -> None:
         """Protocol-specific resolution; must end in :meth:`_finish_query`."""
         raise NotImplementedError
 
@@ -241,7 +300,25 @@ class BasePeer(NetworkNode):
         Called from the reply handler of the successful fetch, so ``now``
         is completion time; the provider's reply travelled one link, hence
         ``lookup latency = now - started - one_way(querier, provider)``.
+
+        Ledger discipline: the matching open entry is consumed; a
+        completion whose entry is gone (or belongs to a different issue
+        time) is *stale* -- a callback surviving a crash/re-join cycle --
+        and is dropped instead of double-resolving the query.
         """
+        if self._open_queries.get(key) != started_at:
+            # Stale completion from a previous session of this peer: the
+            # query was already finalized (failed_crash at crash time).
+            # Observable so the auditor can assert it never double-counts.
+            if self.sim.tracing("cdn.query_stale"):
+                self.sim.emit(
+                    "cdn.query_stale",
+                    outcome=outcome,
+                    peer=self.address,
+                    key=key,
+                )
+            return
+        del self._open_queries[key]
         transfer = self.network.latency(self.address, provider)
         lookup_latency = max(0.0, self.sim.now - started_at - transfer)
         if outcome == "hit_local":
@@ -266,7 +343,7 @@ class BasePeer(NetworkNode):
                 hops=hops,
             )
         )
-        self.sim.emit("cdn.query_done", outcome=outcome, peer=self.address)
+        self.sim.emit("cdn.query_done", outcome=outcome, peer=self.address, key=key)
         self._after_query(key, outcome)
 
     def _after_query(self, key: ObjectKey, outcome: str) -> None:
@@ -283,17 +360,47 @@ class BasePeer(NetworkNode):
         started_at: float,
         hops: int = 0,
     ) -> None:
-        """Fall back to the origin web server (a P2P miss)."""
+        """Fall back to the origin web server (a P2P miss).
+
+        Servers never fail in this model, but the *path* to them can: under
+        an injected partition or loss burst the fetch may exhaust its retry
+        budget.  The query is then finalized with the terminal
+        ``failed_unreachable`` outcome rather than silently leaking an open
+        ledger entry forever.  In fault-free runs the retry wrapper never
+        times out, so the event stream is identical to a plain RPC.
+        """
         server = self.system.servers[key[0]]
-        self.rpc(
+        params = self.system.params
+        self.retrying_rpc(
             server.address,
             "server.fetch",
             {"key": key},
             on_reply=lambda payload: self._finish_query(
                 key, outcome, server.address, started_at, hops
             ),
-            on_timeout=lambda: None,  # servers never fail in this model
+            on_give_up=lambda: self._fail_query(key, "failed_unreachable", started_at),
+            retries=params.rpc_retries,
+            backoff_ms=params.rpc_backoff_ms,
         )
+
+    def _fail_query(self, key: ObjectKey, outcome: str, started_at: float) -> None:
+        """Finalize an open query with a terminal failure outcome."""
+        if self._open_queries.get(key) != started_at:
+            return  # already finalized (crash sweep or a racing completion)
+        del self._open_queries[key]
+        self.system.metrics.record(
+            QueryRecord(
+                time=self.sim.now,
+                website=key[0],
+                object_key=key,
+                locality=self.locality,
+                outcome=outcome,
+                lookup_latency_ms=self.sim.now - started_at,
+                transfer_ms=0.0,
+                hops=0,
+            )
+        )
+        self.sim.emit("cdn.query_done", outcome=outcome, peer=self.address, key=key)
 
 
 class CdnSystem:

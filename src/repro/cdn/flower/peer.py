@@ -246,7 +246,7 @@ class FlowerPeer(BasePeer):
     # =====================================================================
     # Query resolution
     # =====================================================================
-    def resolve_query(self, key: ObjectKey, started_at: float) -> None:
+    def _resolve_query(self, key: ObjectKey, started_at: float) -> None:
         """Resolve one query via the Flower-CDN paths (module docstring)."""
         if key in self.store:
             self._finish_query(key, "hit_local", self.address, started_at)
@@ -973,11 +973,23 @@ class FlowerPeer(BasePeer):
     def _sweep_tick(self) -> None:
         if self.directory is None or not self.alive:
             return
-        expired = self.directory.expire_members(
-            self.system.params.member_expiry_rounds
-        )
+        role = self.directory
+        expired = role.expire_members(self.system.params.member_expiry_rounds)
         if expired:
-            self.sim.emit(
+            self.system.expired_members += len(expired)
+            sim = self.sim
+            if sim.tracing("flower.member_expired"):
+                # Per-member eviction events: the auditor (and recovery
+                # reports) can tell a silent keepalive expiry apart from a
+                # crash-driven removal or a failure false positive.
+                for member in expired:
+                    sim.emit(
+                        "flower.member_expired",
+                        directory=self.address,
+                        member=member,
+                        position=role.position_id,
+                    )
+            sim.emit(
                 "flower.members_expired",
                 directory=self.address,
                 count=len(expired),

@@ -61,6 +61,11 @@ class FlowerSystem(CdnSystem):
         #: set a :class:`~repro.cdn.flower.search.KeywordSearchEngine` to
         #: enable ``FlowerPeer.search``.
         self.search_engine = None
+        #: Total directory-index members evicted by keepalive-age sweeps
+        #: (``DirectoryRole.expire_members``).  Lets reports -- and the
+        #: chaos auditor -- distinguish silent expiry from crash-driven
+        #: removal when accounting recovery behaviour.
+        self.expired_members = 0
 
     # ---------------------------------------------------------------- peers
     def _make_peer(self, identity: int) -> BasePeer:

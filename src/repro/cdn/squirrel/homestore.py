@@ -49,7 +49,7 @@ class HomeStorePeer(SquirrelPeer):
         self.replica_store = set()
 
     # ------------------------------------------------------------ query path
-    def resolve_query(self, key: ObjectKey, started_at: float) -> None:
+    def _resolve_query(self, key: ObjectKey, started_at: float) -> None:
         """Resolve one query: Chord lookup -> home replica or origin."""
         if key in self.store:
             self._finish_query(key, "hit_local", self.address, started_at)

@@ -116,7 +116,7 @@ class SquirrelPeer(BasePeer):
     # =====================================================================
     # Query path
     # =====================================================================
-    def resolve_query(self, key: ObjectKey, started_at: float) -> None:
+    def _resolve_query(self, key: ObjectKey, started_at: float) -> None:
         """Resolve one query: Chord lookup -> home node -> delegate."""
         if key in self.store:
             self._finish_query(key, "hit_local", self.address, started_at)

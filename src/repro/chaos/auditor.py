@@ -1,0 +1,638 @@
+"""Online invariant auditor: Jepsen-style checking under injected chaos.
+
+The auditor verifies the system-wide safety/liveness properties catalogued
+in ``docs/PROTOCOLS.md`` section 9 while a chaos plan fires:
+
+I1 **query ledger** -- every issued query terminates *exactly once* with a
+   terminal outcome: no lost queries (an entry open beyond the grace
+   bound), no double resolutions (a ``cdn.query_done`` without a matching
+   open entry).
+I2 **slot uniqueness** -- at most one *live* directory peer per
+   (website, locality, instance) D-ring slot.
+I3 **bounded reacquire** -- a killed directory slot of an active website
+   is re-acquired within a bound, as long as live interested peers exist
+   and no partition is interfering.
+I4 **index validity** -- directory-index entries only reference petal
+   members that are alive and hold the object, modulo a staleness bound
+   derived from the keepalive/expiry parameters.
+I5 **ring convergence** -- after faults quiesce, the D-ring successor
+   chain over active members reconverges to one cycle covering them all.
+I6 **view hygiene** -- gossip partial views never contain the owner
+   itself, and dead contacts are evicted within a bound derived from the
+   gossip period.
+
+Zero cost when absent: all observation happens through subscriber-gated
+trace kinds plus an explicitly scheduled audit tick -- a run without an
+auditor schedules nothing and subscribes to nothing, so the hot path pays
+exactly what it paid before this module existed (verified by
+``bench_engine.py --check``).
+
+On violation a minimal reproducer bundle -- seed, plan, the last-N trace
+window, an offending-state snapshot -- is written to ``results/chaos/``;
+:func:`repro.chaos.runner.replay_bundle` re-runs it deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.cdn.flower.system import FlowerSystem
+from repro.sim.clock import minutes
+from repro.sim.trace import TraceEvent
+
+#: Trace kinds the auditor subscribes to (ledger + context window).
+WATCHED_KINDS = (
+    "cdn.query",
+    "cdn.query_done",
+    "cdn.query_stale",
+    "chaos.phase",
+    "chaos.violation",
+    "churn.arrival",
+    "churn.departure",
+    "fault.mass_failure",
+    "fault.partition_start",
+    "fault.partition_heal",
+    "fault.past_due_reschedule",
+    "flower.directory_active",
+    "flower.member_expired",
+)
+
+
+@dataclass(frozen=True)
+class AuditorConfig:
+    """Knobs of the online auditor (bounds in ms unless noted).
+
+    The staleness/convergence bounds are *factors* over the protocol's own
+    periods (keepalive, gossip, audit), so the auditor adapts to whatever
+    parameterization the experiment uses instead of hard-coding paper-scale
+    timings.
+    """
+
+    audit_period_ms: float = minutes(10.0)
+    ledger_grace_ms: float = minutes(5.0)
+    reacquire_bound_ms: float = minutes(45.0)
+    index_staleness_factor: float = 4.0
+    view_staleness_factor: float = 12.0
+    ring_strikes: int = 3
+    duplicate_strikes: int = 2
+    trace_window: int = 256
+    max_violations: int = 25
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation."""
+
+    kind: str
+    time: float
+    subject: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "subject": self.subject,
+            "details": _json_safe(self.details),
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce a payload into JSON-serializable primitives."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_json_safe(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class InvariantAuditor:
+    """Continuously audits one world; dumps reproducer bundles on violation.
+
+    Args:
+        world: an assembled :class:`repro.experiments.runner.World` (any
+            object with ``sim``, ``system``, ``network``, ``config``,
+            ``faults`` works).
+        plan: the :class:`~repro.chaos.plan.ChaosPlan` being executed, if
+            any -- carried into reproducer bundles.
+        config: auditor bounds (defaults are derived-friendly).
+        results_dir: where reproducer bundles are written (created lazily;
+            ``None`` disables bundle dumping).
+        halt_on_violation: stop the simulation at the first violation
+            (useful to keep the offending state inspectable).
+    """
+
+    def __init__(
+        self,
+        world,
+        plan=None,
+        config: Optional[AuditorConfig] = None,
+        results_dir: Optional[str] = "results/chaos",
+        halt_on_violation: bool = False,
+    ) -> None:
+        self.world = world
+        self.sim = world.sim
+        self.system = world.system
+        self.network = world.network
+        self.plan = plan
+        self.config = config or AuditorConfig()
+        self.results_dir = results_dir
+        self.halt_on_violation = halt_on_violation
+        self.flower: Optional[FlowerSystem] = (
+            world.system if isinstance(world.system, FlowerSystem) else None
+        )
+        params = world.system.params
+        cfg = self.config
+        #: derived bounds (protocol-period aware; see AuditorConfig).
+        self.index_staleness_ms = cfg.index_staleness_factor * max(
+            params.keepalive_period_ms, params.gossip_period_ms
+        )
+        self.view_staleness_ms = cfg.view_staleness_factor * params.gossip_period_ms
+        self.reacquire_bound_ms = cfg.reacquire_bound_ms + 2.0 * (
+            params.keepalive_period_ms + params.query_interval_ms
+        )
+        self.violations: List[Violation] = []
+        self.stats: Dict[str, int] = {
+            "audits": 0,
+            "queries_opened": 0,
+            "queries_closed": 0,
+            "stale_completions": 0,
+            "reacquired_slots": 0,
+        }
+        #: reacquire durations (ms) of observed directory slot recoveries.
+        self.reacquire_times_ms: List[float] = []
+        self.bundle_paths: List[str] = []
+        # --- ledger ---
+        self._open: Dict[Tuple[int, tuple], float] = {}
+        self._leak_reported: Set[Tuple[int, tuple]] = set()
+        # --- trace window (context for reproducer bundles) ---
+        self._window: Deque[TraceEvent] = deque(maxlen=cfg.trace_window)
+        # --- fault context ---
+        self._last_disturbance_ms = 0.0
+        self._partition_active = False
+        #: declared fault windows (loss, latency, partitions) from the
+        #: config's schedule: convergence is only owed outside them.  The
+        #: event subscriptions catch point faults (mass failures) and
+        #: partition edges; windowed faults never emit edge events, so
+        #: they are read off the schedule instead.
+        self._disturbance_windows: List[Tuple[float, float]] = []
+        for spec in getattr(world.config, "fault_schedule", ()):
+            start = getattr(spec, "start_ms", None)
+            end = getattr(spec, "end_ms", getattr(spec, "heal_ms", None))
+            if start is not None and end is not None:
+                self._disturbance_windows.append((float(start), float(end)))
+        # --- staleness / convergence trackers ---
+        self._first_seen: Dict[tuple, float] = {}
+        self._vacant_since: Dict[tuple, float] = {}
+        self._dup_streak: Dict[tuple, int] = {}
+        self._ring_strike = 0
+        self._reported: Set[tuple] = set()
+        self._finalized = False
+        self._saturated = False
+        self._subscribe()
+        self.sim.schedule(cfg.audit_period_ms, self._audit_tick)
+
+    # ------------------------------------------------------------ subscribing
+    def _subscribe(self) -> None:
+        trace = self.sim.trace
+        handlers = {
+            "cdn.query": self._on_query,
+            "cdn.query_done": self._on_query_done,
+            "cdn.query_stale": self._on_query_stale,
+            "fault.partition_start": self._on_partition_edge,
+            "fault.partition_heal": self._on_partition_edge,
+            "fault.mass_failure": self._on_disturbance,
+            "flower.directory_active": self._on_directory_active,
+        }
+        for kind in WATCHED_KINDS:
+            specific = handlers.get(kind)
+            if specific is not None:
+                trace.subscribe(kind, self._windowed(specific))
+            else:
+                trace.subscribe(kind, self._window.append)
+
+    def _windowed(self, handler):
+        window = self._window
+
+        def wrapped(event: TraceEvent) -> None:
+            window.append(event)
+            handler(event)
+
+        return wrapped
+
+    # ------------------------------------------------------- ledger handlers
+    def _on_query(self, event: TraceEvent) -> None:
+        key = (event.payload["peer"], tuple(event.payload["key"]))
+        self.stats["queries_opened"] += 1
+        if key in self._open:
+            # A second issue while the first is open would make the done
+            # events ambiguous; the query process never does this.
+            self._violation(
+                "query_reopened",
+                subject=key,
+                details={"first_opened_ms": self._open[key]},
+            )
+        self._open[key] = event.time
+
+    def _on_query_done(self, event: TraceEvent) -> None:
+        key = (event.payload["peer"], tuple(event.payload["key"]))
+        if self._open.pop(key, None) is None:
+            self._violation(
+                "query_double_resolved",
+                subject=key,
+                details={"outcome": event.payload.get("outcome")},
+            )
+            return
+        self._leak_reported.discard(key)
+        self.stats["queries_closed"] += 1
+
+    def _on_query_stale(self, event: TraceEvent) -> None:
+        # Informational: a suppressed stale completion is the ledger
+        # working as intended (the query was already crash-finalized).
+        self.stats["stale_completions"] += 1
+
+    # ------------------------------------------------------- fault handlers
+    def _on_partition_edge(self, event: TraceEvent) -> None:
+        self._last_disturbance_ms = event.time
+        faults = getattr(self.world, "faults", None)
+        self._partition_active = (
+            faults is not None and faults.partition_active(event.time)
+        )
+
+    def _on_disturbance(self, event: TraceEvent) -> None:
+        self._last_disturbance_ms = event.time
+
+    def _on_directory_active(self, event: TraceEvent) -> None:
+        slot = (
+            event.payload["website"],
+            event.payload["locality"],
+            event.payload["instance"],
+        )
+        since = self._vacant_since.pop(slot, None)
+        if since is not None:
+            self.stats["reacquired_slots"] += 1
+            self.reacquire_times_ms.append(event.time - since)
+
+    # ----------------------------------------------------------- audit tick
+    def _audit_tick(self) -> None:
+        if self._finalized or self._saturated:
+            return
+        cfg = self.config
+        now = self.sim.now
+        self.stats["audits"] += 1
+        faults = getattr(self.world, "faults", None)
+        self._partition_active = (
+            faults is not None and faults.partition_active(now)
+        )
+        if self._partition_active:
+            self._last_disturbance_ms = now
+        self._audit_ledger(now, horizon_reached=False)
+        if self.flower is not None:
+            self._audit_slots(now)
+            self._audit_indexes(now)
+            self._audit_ring(now)
+            self._audit_views(now)
+        if not self._saturated:
+            self.sim.schedule(cfg.audit_period_ms, self._audit_tick)
+
+    def finalize(self) -> List[Violation]:
+        """Close the ledger at the horizon; return all violations."""
+        if not self._finalized:
+            self._finalized = True
+            self._audit_ledger(self.sim.now, horizon_reached=True)
+        return self.violations
+
+    # -------------------------------------------------------- I1: the ledger
+    def _audit_ledger(self, now: float, horizon_reached: bool) -> None:
+        grace = self.config.ledger_grace_ms
+        for key, opened in list(self._open.items()):
+            if key in self._leak_reported:
+                continue
+            if now - opened > grace:
+                self._leak_reported.add(key)
+                self._violation(
+                    "query_leaked",
+                    subject=key,
+                    details={
+                        "opened_ms": opened,
+                        "age_ms": now - opened,
+                        "at_horizon": horizon_reached,
+                    },
+                )
+
+    # ------------------------------------------- I2 + I3: directory slots
+    def _live_slot_holders(self) -> Dict[tuple, List[int]]:
+        holders: Dict[tuple, List[int]] = {}
+        for peer in self.flower.peers.values():
+            role = peer.directory
+            if role is None or not peer.alive:
+                continue
+            slot = (role.website, role.locality, role.instance)
+            holders.setdefault(slot, []).append(peer.address)
+        return holders
+
+    def _audit_slots(self, now: float) -> None:
+        cfg = self.config
+        holders = self._live_slot_holders()
+        # --- I2: at most one live directory per slot (strike-based to
+        # tolerate the instant of a handoff/claim race mid-settling) ---
+        for slot, addresses in holders.items():
+            if len(addresses) > 1:
+                streak = self._dup_streak.get(slot, 0) + 1
+                self._dup_streak[slot] = streak
+                if streak >= cfg.duplicate_strikes:
+                    self._violation(
+                        "duplicate_directory",
+                        subject=slot,
+                        details={"holders": sorted(addresses), "audits": streak},
+                    )
+            else:
+                self._dup_streak.pop(slot, None)
+        for slot in list(self._dup_streak):
+            if slot not in holders:
+                del self._dup_streak[slot]
+        # --- I3: bounded reacquire of instance-0 slots of active websites ---
+        system = self.flower
+        if self._partition_active or self._in_disturbance_window(now, 0.0):
+            # A partition (or a declared loss/latency window) legitimately
+            # stalls both detection and rejoin; restart every vacancy
+            # clock at the current time.
+            for slot in self._vacant_since:
+                self._vacant_since[slot] = now
+        for website, locality, _pos in system.key_service.all_positions(0):
+            if not system.catalog.is_active(website):
+                continue
+            slot = (website, locality, 0)
+            if slot in holders:
+                self._vacant_since.pop(slot, None)
+                continue
+            if not self._has_claimants(website, locality):
+                # Nobody is left to claim or query this slot; vacancy is
+                # expected until churn delivers a new interested peer.
+                self._vacant_since.pop(slot, None)
+                continue
+            since = self._vacant_since.setdefault(slot, now)
+            if (
+                now - since > self.reacquire_bound_ms
+                and ("reacquire", slot) not in self._reported
+            ):
+                self._reported.add(("reacquire", slot))
+                self._violation(
+                    "directory_not_reacquired",
+                    subject=slot,
+                    details={
+                        "vacant_since_ms": since,
+                        "vacant_for_ms": now - since,
+                        "bound_ms": self.reacquire_bound_ms,
+                    },
+                )
+
+    def _has_claimants(self, website: int, locality: int) -> bool:
+        for peer in self.flower.peers.values():
+            if (
+                peer.alive
+                and peer.website == website
+                and peer.locality == locality
+                and (peer.stream is None or not peer.stream.exhausted)
+            ):
+                return True
+        return False
+
+    # --------------------------------------------------- I4: index validity
+    def _audit_indexes(self, now: float) -> None:
+        problems: Dict[tuple, Dict[str, Any]] = {}
+        network = self.network
+        for peer in self.flower.peers.values():
+            role = peer.directory
+            if role is None or not peer.alive:
+                continue
+            for member, keys in role.member_keys.items():
+                node = network.node(member)
+                if not node.alive:
+                    problems[("dead_member", role.position_id, member)] = {
+                        "directory": peer.address,
+                    }
+                    continue
+                store = getattr(node, "store", None)
+                if store is None:
+                    continue
+                missing = [key for key in keys if key not in store]
+                if missing:
+                    problems[("unheld_keys", role.position_id, member)] = {
+                        "directory": peer.address,
+                        "missing": missing[:5],
+                        "missing_count": len(missing),
+                    }
+        self._check_persistent(
+            problems,
+            bound_ms=self.index_staleness_ms,
+            now=now,
+            violation_kind="stale_index_entry",
+            namespace="index",
+        )
+
+    # ------------------------------------------------ I5: ring convergence
+    def _in_disturbance_window(self, now: float, settle: float) -> bool:
+        """Is *now* inside (or within *settle* of the end of) any declared
+        fault window from the schedule?"""
+        return any(
+            start <= now < end + settle
+            for start, end in self._disturbance_windows
+        )
+
+    def _audit_ring(self, now: float) -> None:
+        cfg = self.config
+        # Convergence is only owed once faults have quiesced for a while.
+        settle = 2.0 * cfg.audit_period_ms
+        if (
+            self._partition_active
+            or now - self._last_disturbance_ms < settle
+            or self._in_disturbance_window(now, settle)
+        ):
+            self._ring_strike = 0
+            return
+        active = self.flower.ring.active_members()
+        if len(active) < 2 or self._ring_converged(active):
+            self._ring_strike = 0
+            return
+        self._ring_strike += 1
+        if self._ring_strike >= cfg.ring_strikes and "ring" not in self._reported:
+            self._reported.add("ring")
+            self._violation(
+                "ring_not_converged",
+                subject="dring",
+                details={
+                    "active_members": len(active),
+                    "consecutive_audits": self._ring_strike,
+                },
+            )
+
+    @staticmethod
+    def _ring_converged(active) -> bool:
+        """Do the successor pointers over active members form one cycle?"""
+        by_id = {node.node_id: node for node in active}
+        start = active[0]
+        visited = set()
+        current = start
+        for _ in range(len(active)):
+            succ = current.successor
+            if succ is None:
+                return False
+            nxt = by_id.get(succ.id)
+            if nxt is None:  # successor points outside the active set
+                return False
+            visited.add(nxt.node_id)
+            current = nxt
+            if current is start and len(visited) < len(active):
+                return False  # cycle closed early: ring is split
+        return visited == set(by_id)
+
+    # --------------------------------------------------- I6: view hygiene
+    def _audit_views(self, now: float) -> None:
+        problems: Dict[tuple, Dict[str, Any]] = {}
+        network = self.network
+        for peer in self.flower.peers.values():
+            if not peer.alive or peer.is_directory:
+                # Directory peers leave the gossip loops; their frozen
+                # legacy views only answer early post-takeover queries.
+                continue
+            view = peer.view
+            if peer.address in view:
+                self._violation(
+                    "self_in_view",
+                    subject=peer.address,
+                    details={"view": view.addresses()},
+                )
+                continue
+            for contact in view.contacts():
+                if not network.is_alive(contact.address):
+                    problems[("dead_contact", peer.address, contact.address)] = {
+                        "age": contact.age,
+                    }
+        self._check_persistent(
+            problems,
+            bound_ms=self.view_staleness_ms,
+            now=now,
+            violation_kind="dead_view_contact",
+            namespace="view",
+        )
+
+    # ------------------------------------------------- staleness machinery
+    def _check_persistent(
+        self,
+        problems: Dict[tuple, Dict[str, Any]],
+        bound_ms: float,
+        now: float,
+        violation_kind: str,
+        namespace: str,
+    ) -> None:
+        """First-seen tracking: a problem must *persist* past its staleness
+        bound before it is a violation (transient inconsistency is how the
+        protocols are designed to work)."""
+        first_seen = self._first_seen
+        for key in list(first_seen):
+            if key[0] == namespace and key[1] not in problems:
+                del first_seen[key]
+        for key, details in problems.items():
+            tracked = (namespace, key)
+            since = first_seen.setdefault(tracked, now)
+            if (
+                now - since > bound_ms
+                and (violation_kind, key) not in self._reported
+            ):
+                self._reported.add((violation_kind, key))
+                self._violation(
+                    violation_kind,
+                    subject=key,
+                    details={
+                        **details,
+                        "stale_since_ms": since,
+                        "stale_for_ms": now - since,
+                        "bound_ms": bound_ms,
+                    },
+                )
+
+    # --------------------------------------------------------- violations
+    def _violation(self, kind: str, subject: Any, details: Dict[str, Any]) -> None:
+        if self._saturated:
+            return
+        violation = Violation(
+            kind=kind,
+            time=self.sim.now,
+            subject=str(subject),
+            details=_json_safe(details),
+        )
+        self.violations.append(violation)
+        self.sim.emit("chaos.violation", violation=kind, subject=str(subject))
+        path = self._dump_bundle(violation)
+        if path is not None:
+            self.bundle_paths.append(path)
+        if len(self.violations) >= self.config.max_violations:
+            self._saturated = True
+        if self.halt_on_violation:
+            self.sim.stop()
+
+    # ------------------------------------------------- reproducer bundles
+    def _dump_bundle(self, violation: Violation) -> Optional[str]:
+        if self.results_dir is None:
+            return None
+        from repro.chaos.plan import PLAN_SCHEMA
+        from repro.chaos.runner import config_to_dict
+
+        os.makedirs(self.results_dir, exist_ok=True)
+        bundle = {
+            "schema": PLAN_SCHEMA,
+            "protocol": self.system.name,
+            "seed": self.sim.seed,
+            "config": config_to_dict(self.world.config),
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+            "violation": violation.to_dict(),
+            "violation_index": len(self.violations) - 1,
+            "stats": dict(self.stats),
+            "trace_window": [
+                {
+                    "time": event.time,
+                    "kind": event.kind,
+                    "payload": _json_safe(event.payload),
+                }
+                for event in self._window
+            ],
+            "state": _json_safe(self._state_snapshot()),
+        }
+        name = (
+            f"{self.plan.name if self.plan is not None else 'adhoc'}"
+            f"-{self.system.name}-seed{self.sim.seed}"
+            f"-{violation.kind}-{len(self.violations) - 1}.json"
+        )
+        path = os.path.join(self.results_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True)
+        return path
+
+    def _state_snapshot(self) -> Dict[str, Any]:
+        """The offending-state summary embedded in a reproducer bundle."""
+        snapshot: Dict[str, Any] = {
+            "now_ms": self.sim.now,
+            "open_queries": len(self._open),
+            "online_peers": self.system.online_peers,
+            "partition_active": self._partition_active,
+        }
+        if self.flower is not None:
+            holders = self._live_slot_holders()
+            snapshot["directory_slots"] = {
+                repr(slot): addresses for slot, addresses in sorted(holders.items())
+            }
+            snapshot["ring_active"] = len(self.flower.ring.active_members())
+            snapshot["vacant_slots"] = {
+                repr(slot): since
+                for slot, since in sorted(self._vacant_since.items())
+            }
+        return snapshot

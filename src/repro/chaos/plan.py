@@ -1,0 +1,328 @@
+"""Declarative, seeded chaos plans.
+
+A :class:`ChaosPlan` is a reproducible fault schedule: a phase timeline
+plus the concrete fault specs (:mod:`repro.net.faults`) and churn surges
+that implement each phase.  Plans come from two places:
+
+- :func:`generate_plan` composes one *randomly* from a dedicated RNG
+  stream seeded by ``chaos_seed`` -- the same ``(chaos_seed, horizon,
+  knobs)`` always yields the same plan, independent of the simulation's
+  master seed;
+- :func:`ChaosPlan.from_dict` re-hydrates a plan from a reproducer
+  bundle, so a dumped violation replays bit-for-bit.
+
+Phase menu (weights scale with ``intensity``):
+
+==================  =====================================================
+``calm``            nothing injected; lets the auditor observe recovery
+``churn_burst``     a surge of extra arrivals + a fractional mass failure
+``partition``       one locality cut off, healing before the phase ends
+``directory_wipe``  a mass failure restricted to directory peers
+``latency_spike``   a multiplicative/additive latency window
+``bursty_loss``     a Gilbert-Elliott loss window (at most one per plan)
+``flash_crowd``     a surge of arrivals pinned to one hot website
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.net.faults import (
+    BurstyLossSpec,
+    LatencySpikeSpec,
+    MassFailureSpec,
+    PartitionSpec,
+)
+from repro.sim.clock import minutes
+
+#: Current on-disk schema of serialized plans / reproducer bundles.
+PLAN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ChurnSurgeSpec:
+    """A burst of extra arrivals on top of the baseline churn process.
+
+    Attributes:
+        start_ms / duration_ms: the surge window; arrivals are spread
+            evenly across it.
+        arrivals: how many extra identities are brought online.
+        hot_website: if set, arriving identities are pinned to this
+            website (a flash crowd); ``None`` keeps the uniform interest
+            assignment (a plain churn burst).
+        hot_interest_probability: fraction of surge arrivals that get the
+            hot-website pin (ignored when ``hot_website`` is None).
+    """
+
+    start_ms: float
+    duration_ms: float
+    arrivals: int
+    hot_website: Optional[int] = None
+    hot_interest_probability: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= 0 or self.arrivals < 1:
+            raise ConfigError("surge needs a positive window and >= 1 arrival")
+        if not 0.0 <= self.hot_interest_probability <= 1.0:
+            raise ConfigError("hot_interest_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ChaosPhase:
+    """One labelled segment of the plan's timeline (for humans and the
+    auditor's context; the actual injection lives in the specs)."""
+
+    kind: str
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.end_ms <= self.start_ms:
+            raise ConfigError("phase must end after it starts")
+
+
+#: spec-type registry for the JSON round trip.
+_SPEC_TYPES = {
+    "bursty_loss": BurstyLossSpec,
+    "partition": PartitionSpec,
+    "latency_spike": LatencySpikeSpec,
+    "mass_failure": MassFailureSpec,
+    "churn_surge": ChurnSurgeSpec,
+    "chaos_phase": ChaosPhase,
+}
+_SPEC_NAMES = {cls: name for name, cls in _SPEC_TYPES.items()}
+
+
+def spec_to_dict(spec: Any) -> Dict[str, Any]:
+    """Serialize one frozen spec with a ``type`` tag."""
+    name = _SPEC_NAMES.get(type(spec))
+    if name is None:
+        raise ConfigError(f"unserializable spec {spec!r}")
+    data = asdict(spec)
+    data["type"] = name
+    return data
+
+
+def spec_from_dict(data: Dict[str, Any]) -> Any:
+    """Inverse of :func:`spec_to_dict`."""
+    data = dict(data)
+    name = data.pop("type", None)
+    cls = _SPEC_TYPES.get(name)
+    if cls is None:
+        raise ConfigError(f"unknown spec type {name!r}")
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A complete, reproducible chaos schedule.
+
+    Attributes:
+        name: human-readable label ("chaos-7-1.0", ...).
+        chaos_seed: the seed :func:`generate_plan` used (carried for the
+            reproducer bundle even though the plan itself is explicit).
+        horizon_ms: intended experiment length.
+        faults: the :mod:`repro.net.faults` specs to install.
+        surges: extra-arrival bursts (churn bursts, flash crowds).
+        phases: the labelled timeline (emitted as ``chaos.phase`` events).
+    """
+
+    name: str
+    chaos_seed: int
+    horizon_ms: float
+    faults: Tuple[Any, ...] = ()
+    surges: Tuple[ChurnSurgeSpec, ...] = ()
+    phases: Tuple[ChaosPhase, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.horizon_ms <= 0:
+            raise ConfigError("plan horizon must be positive")
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        if not isinstance(self.surges, tuple):
+            object.__setattr__(self, "surges", tuple(self.surges))
+        if not isinstance(self.phases, tuple):
+            object.__setattr__(self, "phases", tuple(self.phases))
+
+    # ------------------------------------------------------------ serialize
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": PLAN_SCHEMA,
+            "name": self.name,
+            "chaos_seed": self.chaos_seed,
+            "horizon_ms": self.horizon_ms,
+            "faults": [spec_to_dict(s) for s in self.faults],
+            "surges": [spec_to_dict(s) for s in self.surges],
+            "phases": [spec_to_dict(p) for p in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosPlan":
+        schema = data.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ConfigError(f"unsupported plan schema {schema!r}")
+        return cls(
+            name=data["name"],
+            chaos_seed=data["chaos_seed"],
+            horizon_ms=data["horizon_ms"],
+            faults=tuple(spec_from_dict(s) for s in data.get("faults", ())),
+            surges=tuple(spec_from_dict(s) for s in data.get("surges", ())),
+            phases=tuple(spec_from_dict(p) for p in data.get("phases", ())),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Randomized plan generation
+# ---------------------------------------------------------------------------
+
+#: phase kind -> base weight in the generator's menu.
+_PHASE_WEIGHTS = (
+    ("calm", 2.0),
+    ("churn_burst", 2.0),
+    ("partition", 2.0),
+    ("directory_wipe", 1.0),
+    ("latency_spike", 1.5),
+    ("bursty_loss", 1.0),
+    ("flash_crowd", 1.5),
+)
+
+
+def generate_plan(
+    chaos_seed: int,
+    horizon_ms: float,
+    num_localities: int,
+    num_websites: int,
+    intensity: float = 1.0,
+    population: int = 120,
+    name: Optional[str] = None,
+) -> ChaosPlan:
+    """Compose a randomized chaos plan from its own RNG stream.
+
+    The generator walks the horizon after a warmup third, drawing phase
+    kinds from a weighted menu and phase lengths from ranges scaled by
+    *intensity* (1.0 = the default stress level; higher = longer, harsher
+    phases).  Every partition heals before the horizon, and at most one
+    bursty-loss window is generated (the controller keeps one Gilbert-
+    Elliott chain at a time).
+
+    Determinism: the plan is a pure function of the arguments; the RNG is
+    ``random.Random(f"chaos:{chaos_seed}")``, decoupled from every
+    simulation stream.
+    """
+    if horizon_ms <= 0:
+        raise ConfigError("horizon must be positive")
+    if not 0.1 <= intensity <= 10.0:
+        raise ConfigError("intensity must be in [0.1, 10]")
+    rng = random.Random(f"chaos:{chaos_seed}")
+    kinds = [k for k, _ in _PHASE_WEIGHTS]
+    weights = [w for _, w in _PHASE_WEIGHTS]
+
+    faults: List[Any] = []
+    surges: List[ChurnSurgeSpec] = []
+    phases: List[ChaosPhase] = []
+    used_bursty = False
+
+    # Leave the first chunk of the run fault-free so petals, gossip views
+    # and directory indexes form before the abuse begins.
+    warmup = max(minutes(20.0), 0.15 * horizon_ms)
+    phases.append(ChaosPhase("calm", 0.0, warmup))
+    cursor = warmup
+    # Keep a calm tail so the auditor can watch the system reconverge.
+    tail = max(minutes(15.0), 0.1 * horizon_ms)
+    end_of_chaos = horizon_ms - tail
+
+    while cursor < end_of_chaos:
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "bursty_loss" and used_bursty:
+            kind = "calm"
+        base = rng.uniform(minutes(10.0), minutes(30.0))
+        duration = min(base * (0.7 + 0.6 * intensity), end_of_chaos - cursor)
+        if duration < minutes(5.0):
+            break
+        start, end = cursor, cursor + duration
+
+        if kind == "partition":
+            heal = start + min(duration * rng.uniform(0.4, 0.8), duration)
+            faults.append(
+                PartitionSpec(
+                    locality=rng.randrange(num_localities),
+                    start_ms=start,
+                    heal_ms=heal,
+                )
+            )
+        elif kind == "churn_burst":
+            surges.append(
+                ChurnSurgeSpec(
+                    start_ms=start,
+                    duration_ms=duration * 0.5,
+                    arrivals=max(2, int(0.1 * intensity * population)),
+                )
+            )
+            faults.append(
+                MassFailureSpec(
+                    at_ms=start + duration * 0.6,
+                    fraction=min(0.9, 0.15 * intensity),
+                    locality=rng.randrange(num_localities)
+                    if rng.random() < 0.5
+                    else None,
+                )
+            )
+        elif kind == "directory_wipe":
+            faults.append(
+                MassFailureSpec(
+                    at_ms=start + duration * 0.3,
+                    fraction=min(1.0, 0.5 + 0.25 * intensity),
+                    directories_only=True,
+                )
+            )
+        elif kind == "latency_spike":
+            faults.append(
+                LatencySpikeSpec(
+                    start_ms=start,
+                    end_ms=end,
+                    multiplier=1.0 + 0.5 * intensity * rng.uniform(0.5, 1.5),
+                    additive_ms=rng.uniform(0.0, 50.0 * intensity),
+                    locality=rng.randrange(num_localities)
+                    if rng.random() < 0.5
+                    else None,
+                )
+            )
+        elif kind == "bursty_loss":
+            used_bursty = True
+            faults.append(
+                BurstyLossSpec(
+                    p_good_to_bad=min(0.2, 0.02 * intensity),
+                    p_bad_to_good=0.2,
+                    loss_bad=min(1.0, 0.6 + 0.2 * intensity),
+                    start_ms=start,
+                    end_ms=end,
+                )
+            )
+        elif kind == "flash_crowd":
+            surges.append(
+                ChurnSurgeSpec(
+                    start_ms=start,
+                    duration_ms=duration * 0.4,
+                    arrivals=max(3, int(0.15 * intensity * population)),
+                    hot_website=rng.randrange(num_websites),
+                    hot_interest_probability=0.8,
+                )
+            )
+        # "calm": inject nothing; the phase label alone documents the gap.
+
+        phases.append(ChaosPhase(kind, start, end))
+        cursor = end + rng.uniform(minutes(2.0), minutes(10.0))
+
+    phases.append(ChaosPhase("calm", min(end_of_chaos, horizon_ms), horizon_ms))
+    return ChaosPlan(
+        name=name or f"chaos-{chaos_seed}-i{intensity:g}",
+        chaos_seed=chaos_seed,
+        horizon_ms=horizon_ms,
+        faults=tuple(faults),
+        surges=tuple(surges),
+        phases=tuple(phases),
+    )

@@ -1,0 +1,362 @@
+"""Chaos experiment runner: plans in, violations (hopefully none) out.
+
+:func:`run_chaos` executes one :class:`~repro.chaos.plan.ChaosPlan`
+against a standard experiment world with the
+:class:`~repro.chaos.auditor.InvariantAuditor` online: the plan's fault
+specs merge into the config's ``fault_schedule`` (same
+:class:`~repro.net.faults.FaultController` path as any other fault run),
+its churn surges are driven through the churn model's admission hook, and
+its phase timeline is emitted as ``chaos.phase`` trace events so the
+auditor -- and any reproducer bundle -- can contextualise violations.
+
+Reproducibility contract: a chaos run is a pure function of
+``(protocol, config, plan, seed)``.  :func:`replay_bundle` re-executes a
+dumped reproducer bundle bit-for-bit -- same faults, same surges, same
+RNG streams -- so a violation found in CI replays locally from one JSON
+file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos.auditor import AuditorConfig, InvariantAuditor, Violation
+from repro.chaos.plan import ChaosPlan, ChurnSurgeSpec, spec_from_dict, spec_to_dict
+from repro.errors import CDNError, ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import World, build_world
+from repro.sim.clock import HOUR
+
+
+# ---------------------------------------------------------------------------
+# Config (de)serialization -- reproducer bundles carry the full config
+# ---------------------------------------------------------------------------
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    """Serialize an :class:`ExperimentConfig` to plain JSON data.
+
+    ``fault_schedule`` entries go through the spec registry of
+    :mod:`repro.chaos.plan` (type-tagged dicts); everything else is a
+    scalar already.
+    """
+    data: Dict[str, Any] = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if f.name == "fault_schedule":
+            value = [spec_to_dict(spec) for spec in value]
+        data[f.name] = value
+    return data
+
+
+def config_from_dict(data: Dict[str, Any]) -> ExperimentConfig:
+    """Inverse of :func:`config_to_dict` (unknown keys are rejected so a
+    bundle from a different schema fails loudly, not subtly)."""
+    known = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    extra = set(data) - known
+    if extra:
+        raise ConfigError(f"unknown config fields in bundle: {sorted(extra)}")
+    kwargs = dict(data)
+    if "fault_schedule" in kwargs:
+        kwargs["fault_schedule"] = tuple(
+            spec_from_dict(spec) for spec in kwargs["fault_schedule"]
+        )
+    return ExperimentConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChaosRunReport:
+    """Everything one chaos run produced.
+
+    Attributes:
+        protocol / seed / plan: what ran.
+        result: the usual experiment summary (metrics include any
+            ``failed_*`` query outcomes the chaos caused).
+        violations: auditor findings, empty on a clean run.
+        stats: the auditor's counters (audits, ledger traffic, ...).
+        reacquire_times_ms: observed directory-slot recovery times.
+        bundle_paths: reproducer bundles written for the violations.
+        fingerprint: SHA-256 of the full trace stream when requested
+            (the determinism handle: same inputs => same fingerprint).
+    """
+
+    protocol: str
+    seed: int
+    plan: ChaosPlan
+    result: ExperimentResult
+    violations: List[Violation] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    reacquire_times_ms: List[float] = field(default_factory=list)
+    bundle_paths: List[str] = field(default_factory=list)
+    fingerprint: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the auditor observed no invariant violation."""
+        return not self.violations
+
+    def summary_line(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"[{self.protocol}] plan={self.plan.name} seed={self.seed} "
+            f"audits={self.stats.get('audits', 0)} "
+            f"queries={self.stats.get('queries_opened', 0)} "
+            f"hit_ratio={self.result.hit_ratio:.4f} -> {status}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "plan": self.plan.to_dict(),
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "stats": dict(self.stats),
+            "reacquire_times_ms": list(self.reacquire_times_ms),
+            "bundle_paths": list(self.bundle_paths),
+            "fingerprint": self.fingerprint,
+            "result": self.result.to_dict(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Surge / phase wiring
+# ---------------------------------------------------------------------------
+
+
+def _install_surges(world: World, surges: Tuple[ChurnSurgeSpec, ...]) -> None:
+    """Schedule every surge arrival on the world's simulator.
+
+    Arrivals are spread evenly across each surge window (jitter would
+    need another RNG draw per arrival for no modelling benefit); the hot
+    -website pin draws from the dedicated ``chaos`` stream so surge
+    randomness never perturbs the churn or protocol streams.
+    """
+    sim = world.sim
+    churn = world.churn
+    system = world.system
+    rng = sim.rng("chaos")
+
+    def admit(hot_website: Optional[int], probability: float) -> None:
+        hook = None
+        if hot_website is not None and rng.random() < probability:
+
+            def hook(identity: int) -> None:
+                try:
+                    system.assign_website(identity, hot_website)
+                except CDNError:
+                    # The identity already holds a (different) interest
+                    # from an earlier session; a real flash crowd also
+                    # sweeps up returning peers with other interests.
+                    pass
+
+        churn._admit_arrival(pre_arrival=hook)
+
+    for surge in surges:
+        step = surge.duration_ms / surge.arrivals
+        for i in range(surge.arrivals):
+            at = surge.start_ms + (i + 0.5) * step
+            sim.schedule(
+                max(at - sim.now, 0.0),
+                admit,
+                surge.hot_website,
+                surge.hot_interest_probability,
+            )
+
+
+def _install_phase_markers(world: World, plan: ChaosPlan) -> None:
+    """Emit ``chaos.phase`` at each phase start (auditor context + human
+    -readable timeline in traces and reproducer bundles)."""
+    sim = world.sim
+
+    def mark(kind: str, start_ms: float, end_ms: float) -> None:
+        sim.emit("chaos.phase", phase=kind, start_ms=start_ms, end_ms=end_ms)
+
+    for phase in plan.phases:
+        sim.schedule(
+            max(phase.start_ms - sim.now, 0.0),
+            mark,
+            phase.kind,
+            phase.start_ms,
+            phase.end_ms,
+        )
+
+
+def _install_fingerprint(world: World):
+    """Chain every trace event into a SHA-256; returns the finisher.
+
+    Uses the exact fingerprint recipe of the determinism regression
+    suite so chaos-replay equality means the same thing everywhere.
+    """
+    h = hashlib.sha256()
+
+    def on_event(event, _h=h) -> None:
+        _h.update(
+            repr(
+                (round(event.time, 9), event.kind, sorted(event.payload.items()))
+            ).encode()
+        )
+
+    world.sim.trace.subscribe_all(on_event)
+    return h.hexdigest
+
+
+# ---------------------------------------------------------------------------
+# Running and replaying
+# ---------------------------------------------------------------------------
+
+
+def run_chaos(
+    protocol: str,
+    config: ExperimentConfig,
+    plan: ChaosPlan,
+    seed: int = 0,
+    results_dir: Optional[str] = "results/chaos",
+    halt_on_violation: bool = False,
+    collect_fingerprint: bool = False,
+    auditor_config: Optional[AuditorConfig] = None,
+    merge_faults: bool = True,
+) -> ChaosRunReport:
+    """Run *plan* against *protocol* with the invariant auditor online.
+
+    Args:
+        protocol: "flower", "petalup", "squirrel" or "squirrel-home".
+        config: base experiment config; its duration is overridden by the
+            plan's horizon and (when ``merge_faults``) the plan's fault
+            specs are appended to its ``fault_schedule``.
+        seed: master simulation seed (the chaos plan carries its own).
+        results_dir: where violation reproducer bundles land (None
+            disables dumping).
+        halt_on_violation: stop the simulation at the first violation.
+        collect_fingerprint: also hash the full trace stream (used by the
+            replay-determinism tests; costs one firehose subscriber).
+        auditor_config: override the auditor's bounds.
+        merge_faults: append ``plan.faults`` to the config's schedule.
+            :func:`replay_bundle` passes False because a bundle's config
+            already carries the merged schedule.
+
+    Returns:
+        A :class:`ChaosRunReport`; ``report.ok`` is the pass/fail bit.
+    """
+    cfg = config.replace(
+        duration_hours=plan.horizon_ms / HOUR,
+        fault_schedule=(
+            tuple(config.fault_schedule) + tuple(plan.faults)
+            if merge_faults
+            else tuple(config.fault_schedule)
+        ),
+    )
+    world = build_world(protocol, cfg, seed)
+    finish_fingerprint = (
+        _install_fingerprint(world) if collect_fingerprint else None
+    )
+    auditor = InvariantAuditor(
+        world,
+        plan=plan,
+        config=auditor_config,
+        results_dir=results_dir,
+        halt_on_violation=halt_on_violation,
+    )
+    _install_phase_markers(world, plan)
+    _install_surges(world, plan.surges)
+    world.run()
+    auditor.finalize()
+    system = world.system
+    extra: Dict[str, Any] = {
+        "online_peers": system.online_peers,
+        "message_counts": dict(world.network.kind_counts),
+        "drop_counts": dict(world.network.drop_counts),
+        "chaos_plan": plan.name,
+        "chaos_violations": len(auditor.violations),
+        "auditor_stats": dict(auditor.stats),
+    }
+    if world.faults is not None:
+        extra["fault_stats"] = dict(world.faults.stats)
+    result = ExperimentResult.from_metrics(
+        protocol=protocol,
+        seed=seed,
+        population=cfg.population,
+        duration_hours=cfg.duration_hours,
+        metrics=system.metrics,
+        events_executed=world.sim.events_executed,
+        messages_sent=world.network.messages_sent,
+        arrivals=world.churn.arrivals,
+        departures=world.churn.departures,
+        extra=extra,
+    )
+    return ChaosRunReport(
+        protocol=protocol,
+        seed=seed,
+        plan=plan,
+        result=result,
+        violations=list(auditor.violations),
+        stats=dict(auditor.stats),
+        reacquire_times_ms=list(auditor.reacquire_times_ms),
+        bundle_paths=list(auditor.bundle_paths),
+        fingerprint=finish_fingerprint() if finish_fingerprint else None,
+    )
+
+
+def load_bundle(path: str) -> Dict[str, Any]:
+    """Read one reproducer bundle back from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    for key in ("protocol", "seed", "config"):
+        if key not in bundle:
+            raise ConfigError(f"reproducer bundle missing {key!r}: {path}")
+    return bundle
+
+
+def replay_bundle(
+    bundle_or_path,
+    results_dir: Optional[str] = None,
+    halt_on_violation: bool = False,
+    collect_fingerprint: bool = False,
+    auditor_config: Optional[AuditorConfig] = None,
+) -> ChaosRunReport:
+    """Re-execute a dumped reproducer bundle bit-for-bit.
+
+    The bundle's config already contains the plan's merged fault
+    schedule, so the plan is replayed for its surges and phase timeline
+    only (``merge_faults=False``).  On an unchanged build the replay
+    re-triggers the recorded violation deterministically; on a fixed
+    build it comes back clean -- either way the report says so.
+    """
+    bundle = (
+        load_bundle(bundle_or_path)
+        if isinstance(bundle_or_path, str)
+        else bundle_or_path
+    )
+    config = config_from_dict(bundle["config"])
+    plan_data = bundle.get("plan")
+    if plan_data is not None:
+        plan = ChaosPlan.from_dict(plan_data)
+    else:
+        # Ad-hoc auditor run without a plan: synthesize an empty one so
+        # the replay still has a horizon and a name.
+        plan = ChaosPlan(
+            name="adhoc-replay",
+            chaos_seed=bundle["seed"],
+            horizon_ms=config.duration_ms,
+        )
+    return run_chaos(
+        bundle["protocol"],
+        config,
+        plan,
+        seed=bundle["seed"],
+        results_dir=results_dir,
+        halt_on_violation=halt_on_violation,
+        collect_fingerprint=collect_fingerprint,
+        auditor_config=auditor_config,
+        merge_faults=False,
+    )

@@ -1,14 +1,20 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows without writing Python::
+Five subcommands cover the common workflows without writing Python::
 
     python -m repro run flower --population 240 --hours 12
     python -m repro compare --population 240 --hours 12 --plot
     python -m repro sweep --populations 120,180,240 --protocols flower,squirrel
     python -m repro overhead squirrel --population 120 --hours 6
+    python -m repro chaos flower --plans 3 --chaos-seed 1 --intensity 1.5
 
 ``--paper`` switches any command from the reduced default scale to the
 paper's full Table 1 parameters (expect minutes of wall clock).
+
+``chaos`` runs seeded randomized fault schedules with the online
+invariant auditor (:mod:`repro.chaos`); it exits non-zero when any
+invariant is violated and drops a reproducer bundle per violation into
+``--results-dir``, replayable later with ``--replay BUNDLE.json``.
 """
 
 from __future__ import annotations
@@ -161,6 +167,55 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Handler of ``repro chaos``: audited chaos plans or bundle replay."""
+    from repro.chaos import generate_plan, replay_bundle, run_chaos
+
+    if args.replay:
+        report = replay_bundle(
+            args.replay,
+            results_dir=args.results_dir,
+            halt_on_violation=args.halt,
+        )
+        print(report.summary_line())
+        for violation in report.violations:
+            print(f"  {violation.time:12.0f} ms  {violation.kind}  {violation.subject}")
+        _maybe_write_json(args, report.to_dict())
+        return 0 if report.ok else 1
+
+    config = _config_from(args)
+    exit_code = 0
+    payload = {}
+    for offset in range(args.plans):
+        chaos_seed = args.chaos_seed + offset
+        plan = generate_plan(
+            chaos_seed,
+            horizon_ms=config.duration_ms,
+            num_localities=config.num_localities,
+            num_websites=config.num_websites,
+            intensity=args.intensity,
+            population=config.population,
+        )
+        report = run_chaos(
+            args.protocol,
+            config,
+            plan,
+            seed=args.seed,
+            results_dir=args.results_dir,
+            halt_on_violation=args.halt,
+        )
+        print(report.summary_line())
+        for violation in report.violations:
+            print(f"  {violation.time:12.0f} ms  {violation.kind}  {violation.subject}")
+        for path in report.bundle_paths:
+            print(f"  reproducer: {path}")
+        payload[plan.name] = report.to_dict()
+        if not report.ok:
+            exit_code = 1
+    _maybe_write_json(args, payload)
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs tooling)."""
     parser = argparse.ArgumentParser(
@@ -194,6 +249,33 @@ def build_parser() -> argparse.ArgumentParser:
     overhead_parser.add_argument("protocol", choices=sorted(PROTOCOLS))
     _add_common_arguments(overhead_parser)
     overhead_parser.set_defaults(handler=cmd_overhead)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="audited chaos plans / reproducer-bundle replay"
+    )
+    chaos_parser.add_argument("protocol", choices=sorted(PROTOCOLS))
+    chaos_parser.add_argument(
+        "--plans", type=int, default=3, help="number of consecutive chaos seeds to run"
+    )
+    chaos_parser.add_argument(
+        "--chaos-seed", type=int, default=1, help="first chaos-plan seed"
+    )
+    chaos_parser.add_argument(
+        "--intensity", type=float, default=1.0, help="fault intensity in [0.1, 10]"
+    )
+    chaos_parser.add_argument(
+        "--results-dir",
+        default="results/chaos",
+        help="where violation reproducer bundles are written",
+    )
+    chaos_parser.add_argument(
+        "--replay", metavar="BUNDLE", help="replay one dumped reproducer bundle"
+    )
+    chaos_parser.add_argument(
+        "--halt", action="store_true", help="stop at the first violation"
+    )
+    _add_common_arguments(chaos_parser)
+    chaos_parser.set_defaults(handler=cmd_chaos)
 
     return parser
 

@@ -11,7 +11,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
-from repro.metrics.collector import MetricsCollector
+from repro.metrics.collector import SERVED_OUTCOMES, MetricsCollector
 from repro.metrics.distribution import Distribution
 from repro.metrics.timeseries import RatioSeries
 from repro.sim.clock import HOUR
@@ -71,7 +71,10 @@ class ExperimentResult:
         """Build the summary from a populated metrics collector."""
         series = RatioSeries()
         for record in metrics.records:
-            series.observe(record.time, record.is_hit)
+            # The hit-ratio curve covers served queries only; failed
+            # (terminal-but-not-served) records are ledger bookkeeping.
+            if record.outcome in SERVED_OUTCOMES:
+                series.observe(record.time, record.is_hit)
         horizon = duration_hours * HOUR
         window = curve_window_hours * HOUR
         curve = [

@@ -189,6 +189,7 @@ def run_experiment(
     }
     if isinstance(system, FlowerSystem):
         extra["directories"] = system.directory_count()
+        extra["expired_members"] = system.expired_members
     if isinstance(system, SquirrelSystem):
         extra["ring_size"] = system.ring_size()
     if isinstance(system, HomeStoreSquirrelSystem):
@@ -204,6 +205,48 @@ def run_experiment(
         arrivals=world.churn.arrivals,
         departures=world.churn.departures,
         extra=extra,
+    )
+
+
+def run_chaos_experiment(
+    protocol: str,
+    config: Optional[ExperimentConfig] = None,
+    chaos_seed: int = 0,
+    seed: int = 0,
+    intensity: float = 1.0,
+    results_dir: Optional[str] = "results/chaos",
+    halt_on_violation: bool = False,
+):
+    """Run one randomized chaos plan with the invariant auditor online.
+
+    Convenience front door to :mod:`repro.chaos`: generates the plan for
+    ``(chaos_seed, intensity)`` from the config's shape (horizon,
+    localities, websites, population) and executes it under audit.  For
+    full control -- explicit plans, bundle replay, fingerprints -- use
+    :func:`repro.chaos.run_chaos` directly.
+
+    Returns:
+        A :class:`repro.chaos.runner.ChaosRunReport`.
+    """
+    # Local import: repro.chaos builds on this module (build_world).
+    from repro.chaos import generate_plan, run_chaos
+
+    config = config or ExperimentConfig.scaled()
+    plan = generate_plan(
+        chaos_seed,
+        horizon_ms=config.duration_ms,
+        num_localities=config.num_localities,
+        num_websites=config.num_websites,
+        intensity=intensity,
+        population=config.population,
+    )
+    return run_chaos(
+        protocol,
+        config,
+        plan,
+        seed=seed,
+        results_dir=results_dir,
+        halt_on_violation=halt_on_violation,
     )
 
 
@@ -250,6 +293,7 @@ def run_recovery_experiment(
     }
     if isinstance(system, FlowerSystem):
         extra["directories"] = system.directory_count()
+        extra["expired_members"] = system.expired_members
     if isinstance(system, SquirrelSystem):
         extra["ring_size"] = system.ring_size()
     result = ExperimentResult.from_metrics(

@@ -21,7 +21,19 @@ outcome             meaning                                        P2P hit?
 ``miss_server``     no copy found: fetched from the origin server  no
 ``miss_failed``     routing failed (lookup error / timeout);
                     fetched from the origin server                 no
+``failed_crash``    the querier crashed before the query could
+                    terminate; finalized by the crash sweep so
+                    the lifecycle ledger never leaks              n/a
+``failed_unreach.`` even the origin server was unreachable
+                    (partition / loss burst exhausted the fetch
+                    retry budget)                                 n/a
 ==================  ============================================== =========
+
+Failed outcomes are *terminal but not served*: they close the query's
+lifecycle (every query terminates exactly once -- the chaos auditor's
+ledger invariant) without entering the paper's hit/miss economy.  The
+hit ratio and the latency/transfer distributions are computed over
+served queries only, so fault-free runs are numerically unchanged.
 """
 
 from __future__ import annotations
@@ -39,7 +51,16 @@ HIT_OUTCOMES = frozenset(
 #: Outcomes served by the origin web server.
 MISS_OUTCOMES = frozenset({"miss_server", "miss_failed"})
 
-ALL_OUTCOMES = HIT_OUTCOMES | MISS_OUTCOMES
+#: Terminal-but-not-served outcomes (crash sweeps, unreachable origin).
+#: They close the query-lifecycle ledger without counting as served
+#: queries: excluded from the hit-ratio denominator and from the
+#: latency/transfer distributions.
+FAILED_OUTCOMES = frozenset({"failed_crash", "failed_unreachable"})
+
+#: Outcomes that entered the paper's hit/miss economy (served queries).
+SERVED_OUTCOMES = HIT_OUTCOMES | MISS_OUTCOMES
+
+ALL_OUTCOMES = SERVED_OUTCOMES | FAILED_OUTCOMES
 
 
 class QueryRecord(NamedTuple):
@@ -106,10 +127,20 @@ class MetricsCollector:
     def misses(self) -> int:
         return sum(self._outcome_counts.get(o, 0) for o in MISS_OUTCOMES)
 
+    @property
+    def failures(self) -> int:
+        """Terminal failures (never served): crash sweeps, unreachable origin."""
+        return sum(self._outcome_counts.get(o, 0) for o in FAILED_OUTCOMES)
+
     def hit_ratio(self) -> float:
-        """Fraction of queries served from the P2P system."""
-        total = len(self.records)
-        return self.hits / total if total else 0.0
+        """Fraction of *served* queries answered from the P2P system.
+
+        Failed (terminal-but-not-served) queries are excluded from the
+        denominator, so this is numerically identical to the historical
+        ``hits / len(records)`` on any run without failures.
+        """
+        served = self.hits + self.misses
+        return self.hits / served if served else 0.0
 
     def mean_lookup_latency_ms(self, hits_only: bool = False) -> float:
         values = self.lookup_latencies(hits_only=hits_only)
@@ -120,15 +151,22 @@ class MetricsCollector:
         return sum(values) / len(values) if values else 0.0
 
     # ----------------------------------------------------------- projections
+    #
+    # Failed records carry no meaningful latency/transfer measurements
+    # (there was no provider), so the distributions cover served queries.
     def lookup_latencies(self, hits_only: bool = False) -> List[float]:
         return [
             r.lookup_latency_ms
             for r in self.records
-            if not hits_only or r.is_hit
+            if (r.is_hit if hits_only else r.outcome in SERVED_OUTCOMES)
         ]
 
     def transfer_distances(self, hits_only: bool = False) -> List[float]:
-        return [r.transfer_ms for r in self.records if not hits_only or r.is_hit]
+        return [
+            r.transfer_ms
+            for r in self.records
+            if (r.is_hit if hits_only else r.outcome in SERVED_OUTCOMES)
+        ]
 
     def filtered(
         self,

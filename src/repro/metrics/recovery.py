@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Iterable, List, NamedTuple, Optional, Sequence
 
 from repro.errors import CDNError
-from repro.metrics.collector import QueryRecord
+from repro.metrics.collector import SERVED_OUTCOMES, QueryRecord
 from repro.metrics.report import render_table
 from repro.metrics.timeseries import RatioPoint, RatioSeries
 
@@ -103,7 +103,11 @@ class RecoveryReport:
             raise CDNError("need 0 <= fault start < heal <= horizon")
         if window_ms <= 0 or epsilon < 0:
             raise CDNError("window must be positive and epsilon >= 0")
-        self.records = list(records)
+        # Failed (terminal-but-not-served) records close the lifecycle
+        # ledger but were never *answered*: they stay in the issued count
+        # and out of the answered/hit accounting, i.e. they are precisely
+        # the availability cost this report measures.
+        self.records = [r for r in records if r.outcome in SERVED_OUTCOMES]
         self.fault_start_ms = fault_start_ms
         self.fault_end_ms = fault_end_ms
         self.horizon_ms = horizon_ms

@@ -320,10 +320,13 @@ class FaultController:
         )
         self._partitions.append(partition)
         self.sim.schedule_at(
-            max(start_ms, self.sim.now), self._emit_partition, "start", partition
+            self._due(start_ms, "partition_start"),
+            self._emit_partition,
+            "start",
+            partition,
         )
         self.sim.schedule_at(
-            max(heal_ms, self.sim.now), self._emit_partition, "heal", partition
+            self._due(heal_ms, "partition_heal"), self._emit_partition, "heal", partition
         )
 
     def _emit_partition(self, edge: str, partition: _Partition) -> None:
@@ -359,8 +362,29 @@ class FaultController:
             directories_only=directories_only,
         )
         self.sim.schedule_at(
-            max(at_ms, self.sim.now), self._execute_mass_failure, spec, predicate
+            self._due(at_ms, "mass_failure"), self._execute_mass_failure, spec, predicate
         )
+
+    def _due(self, at_ms: float, what: str) -> float:
+        """Clamp a fire time to ``now``; a past-due time is no longer
+        silently absorbed -- it is executed immediately *and* reported
+        (warning trace event + ``stats["past_due_reschedules"]``), so a
+        mis-ordered fault schedule is visible instead of quietly shifting
+        the campaign's timing.
+        """
+        now = self.sim.now
+        if at_ms >= now:
+            return at_ms
+        self.stats["past_due_reschedules"] = (
+            self.stats.get("past_due_reschedules", 0) + 1
+        )
+        self.sim.emit(
+            "fault.past_due_reschedule",
+            what=what,
+            requested_ms=at_ms,
+            now_ms=now,
+        )
+        return now
 
     def _execute_mass_failure(
         self, spec: MassFailureSpec, predicate: Optional[Callable]

@@ -1,0 +1,188 @@
+"""End-to-end chaos runs: clean audits, deterministic replay, and the
+auditor actually tripping on an intentionally broken build."""
+
+import dataclasses
+import glob
+import json
+import os
+
+import pytest
+
+from repro.cdn.base import BasePeer
+from repro.chaos import generate_plan, load_bundle, replay_bundle, run_chaos
+from repro.chaos.auditor import AuditorConfig
+from repro.chaos.runner import config_from_dict, config_to_dict
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_chaos_experiment
+from repro.net.faults import MassFailureSpec, PartitionSpec
+from repro.sim.clock import hours
+
+
+def small_config(duration_hours=1.5):
+    return ExperimentConfig.scaled(
+        population=100,
+        duration_hours=duration_hours,
+        num_websites=6,
+        num_active_websites=2,
+        num_localities=2,
+        objects_per_website=30,
+    )
+
+
+def small_plan(chaos_seed, duration_hours=1.5, intensity=1.0):
+    return generate_plan(
+        chaos_seed,
+        horizon_ms=hours(duration_hours),
+        num_localities=2,
+        num_websites=6,
+        intensity=intensity,
+        population=100,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Config serialization (reproducer bundles carry the full config)
+# ---------------------------------------------------------------------------
+
+def test_config_round_trips_with_fault_schedule():
+    config = small_config().replace(
+        fault_schedule=(
+            PartitionSpec(locality=1, start_ms=100.0, heal_ms=200.0),
+            MassFailureSpec(at_ms=300.0, fraction=0.5, directories_only=True),
+        )
+    )
+    data = json.loads(json.dumps(config_to_dict(config)))
+    assert config_from_dict(data) == config
+
+
+def test_config_from_dict_rejects_unknown_fields():
+    data = config_to_dict(small_config())
+    data["warp_factor"] = 9
+    with pytest.raises(ConfigError):
+        config_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Clean runs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_clean_run_has_no_violations_and_is_deterministic():
+    """Same (config, plan, seed) => same trace fingerprint, no violations.
+
+    This is the ChaosPlan analogue of the fault-trajectory determinism
+    test: surges, phase markers and the auditor itself must not perturb
+    reproducibility.
+    """
+    config = small_config()
+    plan = small_plan(2)
+
+    def once():
+        return run_chaos(
+            "flower", config, plan, seed=3,
+            results_dir=None, collect_fingerprint=True,
+        )
+
+    first, second = once(), once()
+    assert first.ok, [v.to_dict() for v in first.violations]
+    assert first.stats["audits"] > 0
+    assert first.stats["queries_opened"] > 0
+    # every opened query was closed (or finalized at the horizon)
+    assert first.fingerprint is not None
+    assert first.fingerprint == second.fingerprint
+    assert first.result.hit_ratio == second.result.hit_ratio
+
+
+@pytest.mark.slow
+def test_petalup_clean_run(tmp_path):
+    report = run_chaos(
+        "petalup",
+        small_config(),
+        small_plan(3),
+        seed=1,
+        results_dir=str(tmp_path),
+    )
+    assert report.ok, [v.to_dict() for v in report.violations]
+    assert not list(tmp_path.iterdir())  # no bundles on a clean run
+
+
+@pytest.mark.slow
+def test_run_chaos_experiment_wrapper():
+    report = run_chaos_experiment(
+        "flower",
+        small_config(duration_hours=1.0),
+        chaos_seed=5,
+        seed=2,
+        results_dir=None,
+    )
+    assert report.plan.name == "chaos-5-i1"
+    assert report.ok, [v.to_dict() for v in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# Broken build: the auditor must trip, dump a bundle, and replay it
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def leaky_completions(monkeypatch):
+    """Swallow every 7th query completion: queries leak, the ledger
+    invariant ("every issued query terminates exactly once") is violated."""
+    counter = {"n": 0}
+    orig = BasePeer._finish_query
+
+    def leaky(self, *args, **kwargs):
+        counter["n"] += 1
+        if counter["n"] % 7 == 0:
+            return None
+        return orig(self, *args, **kwargs)
+
+    monkeypatch.setattr(BasePeer, "_finish_query", leaky)
+    return counter
+
+
+@pytest.mark.slow
+def test_broken_build_trips_auditor_and_bundle_replays(
+    tmp_path, leaky_completions
+):
+    auditor_config = dataclasses.replace(AuditorConfig(), max_violations=2)
+    report = run_chaos(
+        "flower",
+        small_config(),
+        small_plan(2),
+        seed=2,
+        results_dir=str(tmp_path),
+        auditor_config=auditor_config,
+    )
+    assert not report.ok
+    assert {v.kind for v in report.violations} == {"query_leaked"}
+    bundles = sorted(glob.glob(os.path.join(str(tmp_path), "*.json")))
+    assert bundles and bundles == sorted(report.bundle_paths)
+
+    bundle = load_bundle(report.bundle_paths[0])
+    assert bundle["protocol"] == "flower"
+    assert bundle["seed"] == 2
+    assert bundle["violation"]["kind"] == "query_leaked"
+    assert bundle["plan"]["name"] == report.plan.name
+    assert bundle["trace_window"]  # some context was captured
+    assert bundle["state"]["open_queries"] > 0
+
+    # With the build still broken, the replay re-triggers the very same
+    # violation from nothing but the bundle.
+    leaky_completions["n"] = 0
+    replay = replay_bundle(
+        report.bundle_paths[0],
+        results_dir=None,
+        auditor_config=auditor_config,
+    )
+    assert not replay.ok
+    assert replay.violations[0].kind == report.violations[0].kind
+    assert replay.violations[0].subject == report.violations[0].subject
+    assert replay.violations[0].time == report.violations[0].time
+
+
+def test_load_bundle_rejects_garbage(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(ConfigError):
+        load_bundle(str(path))

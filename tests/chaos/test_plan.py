@@ -1,0 +1,148 @@
+"""Chaos plan generation: determinism, structure, serialization."""
+
+import pytest
+
+from repro.chaos.plan import (
+    ChaosPhase,
+    ChaosPlan,
+    ChurnSurgeSpec,
+    generate_plan,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.errors import ConfigError
+from repro.net.faults import BurstyLossSpec, MassFailureSpec, PartitionSpec
+from repro.sim.clock import hours
+
+
+def make_plan(chaos_seed=7, horizon_h=6.0, intensity=1.0):
+    return generate_plan(
+        chaos_seed,
+        horizon_ms=hours(horizon_h),
+        num_localities=3,
+        num_websites=12,
+        intensity=intensity,
+        population=120,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+def test_same_inputs_same_plan():
+    assert make_plan() == make_plan()
+
+
+def test_different_seed_different_plan():
+    assert make_plan(chaos_seed=7) != make_plan(chaos_seed=8)
+
+
+def test_plan_is_decoupled_from_master_seed():
+    """The plan depends only on its own arguments; it never touches the
+    global random module or any simulator stream."""
+    import random
+
+    random.seed(123)
+    first = make_plan()
+    random.seed(456)
+    assert make_plan() == first
+
+
+def test_plan_brackets_chaos_with_calm_phases():
+    plan = make_plan()
+    assert plan.phases[0].kind == "calm"
+    assert plan.phases[0].start_ms == 0.0
+    assert plan.phases[-1].kind == "calm"
+    assert plan.phases[-1].end_ms == plan.horizon_ms
+
+
+def test_partitions_heal_before_horizon():
+    for seed in range(10):
+        plan = make_plan(chaos_seed=seed, intensity=2.0)
+        for fault in plan.faults:
+            if isinstance(fault, PartitionSpec):
+                assert fault.heal_ms < plan.horizon_ms
+
+
+def test_at_most_one_bursty_loss_window():
+    for seed in range(10):
+        plan = make_plan(chaos_seed=seed, intensity=3.0)
+        bursty = [f for f in plan.faults if isinstance(f, BurstyLossSpec)]
+        assert len(bursty) <= 1
+
+
+def test_intensity_scales_damage():
+    mild = make_plan(intensity=0.5)
+    harsh = make_plan(intensity=3.0)
+
+    def mass_fraction(plan):
+        fractions = [
+            f.fraction for f in plan.faults if isinstance(f, MassFailureSpec)
+        ]
+        return max(fractions) if fractions else 0.0
+
+    # same seed, same phase sequence: the harsher plan fails more mass
+    if mass_fraction(mild) and mass_fraction(harsh):
+        assert mass_fraction(harsh) > mass_fraction(mild)
+
+
+def test_generate_plan_validation():
+    with pytest.raises(ConfigError):
+        make_plan(horizon_h=-1.0)
+    with pytest.raises(ConfigError):
+        make_plan(intensity=0.0)
+    with pytest.raises(ConfigError):
+        make_plan(intensity=11.0)
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+def test_plan_round_trips_through_dict():
+    plan = make_plan(intensity=2.0)
+    assert ChaosPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_round_trip_is_json_compatible():
+    import json
+
+    plan = make_plan()
+    assert ChaosPlan.from_dict(json.loads(json.dumps(plan.to_dict()))) == plan
+
+
+def test_spec_registry_round_trips_every_type():
+    specs = [
+        PartitionSpec(locality=1, start_ms=10.0, heal_ms=20.0),
+        MassFailureSpec(at_ms=5.0, fraction=0.25, directories_only=True),
+        BurstyLossSpec(p_good_to_bad=0.1, p_bad_to_good=0.4),
+        ChurnSurgeSpec(start_ms=0.0, duration_ms=100.0, arrivals=4, hot_website=2),
+        ChaosPhase("calm", 0.0, 50.0),
+    ]
+    for spec in specs:
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+def test_unknown_spec_type_rejected():
+    with pytest.raises(ConfigError):
+        spec_from_dict({"type": "meteor_strike"})
+
+
+def test_unknown_schema_rejected():
+    data = make_plan().to_dict()
+    data["schema"] = 99
+    with pytest.raises(ConfigError):
+        ChaosPlan.from_dict(data)
+
+
+def test_surge_validation():
+    with pytest.raises(ConfigError):
+        ChurnSurgeSpec(start_ms=0.0, duration_ms=0.0, arrivals=1)
+    with pytest.raises(ConfigError):
+        ChurnSurgeSpec(start_ms=0.0, duration_ms=10.0, arrivals=0)
+    with pytest.raises(ConfigError):
+        ChurnSurgeSpec(
+            start_ms=0.0, duration_ms=10.0, arrivals=1,
+            hot_interest_probability=1.5,
+        )

@@ -5,8 +5,10 @@ import pytest
 from repro.errors import CDNError
 from repro.metrics.collector import (
     ALL_OUTCOMES,
+    FAILED_OUTCOMES,
     HIT_OUTCOMES,
     MISS_OUTCOMES,
+    SERVED_OUTCOMES,
     MetricsCollector,
     QueryRecord,
 )
@@ -27,7 +29,25 @@ def rec(outcome, time=1.0, website=0, locality=0, lookup=100.0, transfer=50.0, h
 
 def test_outcome_taxonomy_is_partition():
     assert HIT_OUTCOMES & MISS_OUTCOMES == frozenset()
-    assert HIT_OUTCOMES | MISS_OUTCOMES == ALL_OUTCOMES
+    assert HIT_OUTCOMES & FAILED_OUTCOMES == frozenset()
+    assert MISS_OUTCOMES & FAILED_OUTCOMES == frozenset()
+    assert HIT_OUTCOMES | MISS_OUTCOMES == SERVED_OUTCOMES
+    assert SERVED_OUTCOMES | FAILED_OUTCOMES == ALL_OUTCOMES
+
+
+def test_failed_outcomes_excluded_from_service_stats():
+    """Failed queries count as issued work but never as service: they are
+    invisible to the hit ratio and the latency projections."""
+    collector = MetricsCollector()
+    collector.record(rec("hit_directory"))
+    collector.record(rec("miss_server"))
+    collector.record(rec("failed_crash", lookup=9999.0, transfer=0.0))
+    collector.record(rec("failed_unreachable", lookup=9999.0, transfer=0.0))
+    assert len(collector) == 4
+    assert collector.failures == 2
+    assert collector.hit_ratio() == 0.5  # hits / (hits + misses)
+    assert 9999.0 not in collector.lookup_latencies(hits_only=False)
+    assert collector.outcome_count("failed_crash") == 1
 
 
 def test_is_hit():

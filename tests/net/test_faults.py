@@ -305,6 +305,36 @@ def test_mass_failure_uses_crash_hook_when_available():
     assert all(not n.alive for n in nodes)
 
 
+def test_past_due_fault_reschedules_loudly():
+    """A fault scheduled in the past fires now -- but says so: a trace
+    event plus a stats counter, instead of the old silent ``max()``."""
+    sim, network, nodes = make_world(num_nodes=4, seed=5)
+    warnings = []
+    sim.trace.subscribe(
+        "fault.past_due_reschedule", lambda e: warnings.append(e.payload)
+    )
+    controller = FaultController(sim, network)
+    sim.run(until=100.0)
+    controller.schedule_mass_failure(at_ms=40.0, fraction=1.0)  # 60 ms late
+    controller.schedule_partition(
+        start_ms=10.0, heal_ms=200.0, group=frozenset({nodes[0].address})
+    )
+    sim.run(until=300.0)
+    assert controller.stats["past_due_reschedules"] == 2
+    whats = sorted(w["what"] for w in warnings)
+    assert whats == ["mass_failure", "partition_start"]
+    assert all(w["requested_ms"] < w["now_ms"] for w in warnings)
+    assert all(not n.alive for n in nodes)  # the failure still fired
+
+
+def test_on_time_fault_does_not_warn():
+    sim, network, _nodes = make_world(num_nodes=2, seed=6)
+    controller = FaultController(sim, network)
+    controller.schedule_mass_failure(at_ms=50.0, fraction=1.0)
+    sim.run(until=100.0)
+    assert "past_due_reschedules" not in controller.stats
+
+
 # ---------------------------------------------------------------------------
 # Determinism
 # ---------------------------------------------------------------------------
