@@ -1,4 +1,4 @@
-"""Fault recovery: partition-and-heal and bursty loss, Flower vs the seed.
+"""Fault recovery: partition-and-heal, bursty loss, and cold-vs-warm failover.
 
 The paper's robustness claim (sections 1 and 6.3) is argued through churn
 alone; this bench subjects both systems to the harder faults the
@@ -13,17 +13,51 @@ the recovery metrics the claim implies:
 - **bursty loss** -- a Gilbert-Elliott channel at ~10% stationary loss.
   With the retry/backoff RPC layer enabled (the default) Flower's hit
   ratio is strictly better than the seed's single-shot behaviour
-  (``rpc_retries=0``) at the same loss rate and seed.
+  (``rpc_retries=0``) at the same loss rate and seed;
+- **cold vs warm failover** -- the same partition plus a total directory
+  wipe inside the cut, run once with replication off (the paper's cold
+  replacement of section 5.2) and once with ``directory_replication_k=2``
+  (the warm failover of section 5.3).  Warm must be *strictly* better on
+  both replica-aware metrics: time-to-full-index and cold-window misses.
+
+The cold/warm A/B also has a CLI front door for CI smoke runs::
+
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py --quick \
+        --output results/fault_recovery_warm_failover.json
+
+which exits non-zero when warm fails to strictly beat cold.
 
 Always reduced scale: each test runs two full systems end-to-end (see the
 ablations note in bench_ablations.py).
 """
 
-from benchmarks.conftest import emit_report
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+try:
+    from benchmarks.conftest import emit_report
+except ModuleNotFoundError:  # direct script invocation (CI smoke)
+    import pathlib
+
+    _RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+    def emit_report(name: str, text: str) -> None:
+        print()
+        print(text)
+        _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment, run_recovery_experiment
+from repro.experiments.runner import (
+    run_directory_recovery_experiment,
+    run_experiment,
+    run_recovery_experiment,
+)
 from repro.metrics.report import render_table
-from repro.net.faults import BurstyLossSpec, PartitionSpec
+from repro.net.faults import BurstyLossSpec, MassFailureSpec, PartitionSpec
 from repro.sim.clock import hours, minutes
 
 POPULATION = 150
@@ -177,3 +211,161 @@ def test_retries_beat_single_shot_under_bursty_loss(benchmark):
     assert retries.hit_ratio > single.hit_ratio
     # Retries cost extra traffic -- the win is not free.
     assert retries.messages_sent > single.messages_sent
+
+
+# ---------------------------------------------------------------------------
+# Cold vs warm directory failover (section 5.3 A/B)
+# ---------------------------------------------------------------------------
+
+WARM_K = 2
+
+
+def _wipe_config(replication_k: int, population: int = POPULATION) -> ExperimentConfig:
+    """Partition locality 0 (3h-5h) and wipe its directories mid-cut."""
+    return ExperimentConfig.scaled(
+        population=population,
+        duration_hours=9.0,
+        num_websites=8,
+        num_active_websites=2,
+        num_localities=3,
+        objects_per_website=60,
+        directory_replication_k=replication_k,
+        fault_schedule=(
+            PartitionSpec(
+                locality=0, start_ms=PARTITION_START, heal_ms=PARTITION_HEAL
+            ),
+            MassFailureSpec(
+                at_ms=PARTITION_START + 0.5 * (PARTITION_HEAL - PARTITION_START),
+                fraction=1.0,
+                locality=0,
+                directories_only=True,
+            ),
+        ),
+    )
+
+
+def run_cold_warm_ab(population: int = POPULATION, seed: int = SEED) -> Dict:
+    """The cold (k=0) vs warm (k=WARM_K) directory-recovery comparison."""
+    out: Dict[str, Dict] = {}
+    for label, k in (("cold", 0), ("warm", WARM_K)):
+        result, recovery, directory = run_directory_recovery_experiment(
+            "flower",
+            _wipe_config(k, population=population),
+            fault_start_ms=PARTITION_START,
+            fault_end_ms=PARTITION_HEAL,
+            seed=seed,
+            window_ms=minutes(30),
+            localities=[0],
+        )
+        out[label] = {
+            "replication_k": k,
+            "hit_ratio": result.hit_ratio,
+            "availability": recovery.availability,
+            "fault_hit_ratio": recovery.during.hit_ratio,
+            "time_to_full_index_ms": directory["time_to_full_index_ms"],
+            "cold_window_misses": directory["cold_window_misses"],
+            "replicas_adopted": directory["replicas_adopted"],
+            "takeover_staleness_ms": directory["takeover_staleness_ms"],
+            "replication": result.extra["replication"],
+        }
+    return out
+
+
+def _ab_table(ab: Dict, population: int, seed: int) -> str:
+    rows = []
+    for label in ("cold", "warm"):
+        entry = ab[label]
+        ttfi = entry["time_to_full_index_ms"]
+        rows.append(
+            [
+                f"{label} (k={entry['replication_k']})",
+                "never" if ttfi is None else f"{ttfi / 60_000.0:.0f} min",
+                entry["cold_window_misses"],
+                entry["replicas_adopted"],
+                f"{entry['takeover_staleness_ms']['mean'] / 60_000.0:.1f} min",
+                f"{entry['fault_hit_ratio']:.3f}",
+                f"{entry['availability']:.1%}",
+            ]
+        )
+    return render_table(
+        [
+            "mode",
+            "time to full index",
+            "cold misses",
+            "replicas adopted",
+            "staleness (mean)",
+            "fault hit",
+            "avail",
+        ],
+        rows,
+        title=(
+            "cold vs warm directory failover "
+            f"(partition 3h-5h + wipe, P={population}, seed={seed})"
+        ),
+    )
+
+
+def _ab_strictly_better(ab: Dict) -> bool:
+    cold, warm = ab["cold"], ab["warm"]
+    cold_ttfi = cold["time_to_full_index_ms"]
+    warm_ttfi = warm["time_to_full_index_ms"]
+    if warm_ttfi is None:  # warm never recovered: hard fail
+        return False
+    if cold_ttfi is not None and warm_ttfi >= cold_ttfi:
+        return False
+    return warm["cold_window_misses"] < cold["cold_window_misses"]
+
+
+def test_warm_failover_beats_cold_restart(benchmark):
+    ab = benchmark.pedantic(run_cold_warm_ab, rounds=1, iterations=1)
+    emit_report(
+        "fault_recovery_warm_failover", _ab_table(ab, POPULATION, SEED)
+    )
+    # The section 5.3 acceptance bar: with k=2 the cold window is
+    # *strictly* shorter and cheaper than the paper's cold replacement.
+    assert _ab_strictly_better(ab)
+    # The warm run actually used replicas (the win is attributable).
+    assert ab["warm"]["replicas_adopted"] > 0
+    assert ab["cold"]["replicas_adopted"] == 0
+    assert ab["cold"]["replication"]["syncs"] == 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI front door: run the cold/warm A/B and write the comparison."""
+    parser = argparse.ArgumentParser(
+        description="cold vs warm directory failover A/B"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller population (CI smoke)"
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--output", metavar="PATH", help="write the A/B comparison as JSON"
+    )
+    args = parser.parse_args(argv)
+    population = 100 if args.quick else POPULATION
+    ab = run_cold_warm_ab(population=population, seed=args.seed)
+    emit_report(
+        "fault_recovery_warm_failover", _ab_table(ab, population, args.seed)
+    )
+    ok = _ab_strictly_better(ab)
+    print(
+        "warm strictly beats cold: "
+        + ("yes" if ok else "NO -- regression in warm failover")
+    )
+    if args.output:
+        payload = {
+            "population": population,
+            "seed": args.seed,
+            "warm_strictly_better": ok,
+            "cold": ab["cold"],
+            "warm": ab["warm"],
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,16 @@ global ring straddles the cut: peers inside the partition can no longer
 reach most home directories (or the origin servers), so availability and
 hit ratio collapse until the heal.
 
+``--wipe`` additionally kills every directory inside the cut mid-
+partition -- the section 5.2 worst case -- and the Flower run then also
+reports the *directory*-level recovery metrics: how long the member
+index stays cold (time to full index), how many queries that cold
+window pushed to the origin, and how stale the adopted replicas were.
+``--replication K`` turns on the warm failover of section 5.3 (each
+directory replicates its versioned index to K ring successors plus one
+in-petal heir); compare ``--wipe`` against ``--wipe --replication 2`` to
+see the cold window close.
+
 Run with ``--seed N`` to check determinism: identical seeds produce
 identical reports, fault injection included.
 
@@ -21,19 +31,46 @@ import argparse
 from typing import List, Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_recovery_experiment
+from repro.experiments.runner import (
+    run_directory_recovery_experiment,
+    run_recovery_experiment,
+)
 from repro.metrics.report import render_table
-from repro.net.faults import PartitionSpec
+from repro.net.faults import MassFailureSpec, PartitionSpec
 from repro.sim.clock import hours, minutes
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=17, help="master RNG seed")
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=0,
+        metavar="K",
+        help="directory replication degree (0 = off; warm failover, section 5.3)",
+    )
+    parser.add_argument(
+        "--wipe",
+        action="store_true",
+        help="also kill every directory inside the cut mid-partition",
+    )
     args = parser.parse_args(argv)
 
     fault_start = hours(3.0)
     fault_heal = hours(5.0)
+    schedule: tuple = (
+        PartitionSpec(locality=0, start_ms=fault_start, heal_ms=fault_heal),
+    )
+    if args.wipe:
+        schedule += (
+            MassFailureSpec(
+                at_ms=fault_start + 0.5 * (fault_heal - fault_start),
+                fraction=1.0,
+                locality=0,
+                directories_only=True,
+            ),
+        )
     config = ExperimentConfig.scaled(
         population=150,
         duration_hours=9.0,
@@ -41,21 +78,34 @@ def main(argv: Optional[List[str]] = None) -> None:
         num_active_websites=2,
         num_localities=3,
         objects_per_website=60,
-        fault_schedule=(
-            PartitionSpec(locality=0, start_ms=fault_start, heal_ms=fault_heal),
-        ),
+        fault_schedule=schedule,
+        directory_replication_k=args.replication,
     )
 
     rows = []
     for protocol in ("flower", "squirrel"):
-        result, recovery = run_recovery_experiment(
-            protocol,
-            config,
-            fault_start_ms=fault_start,
-            fault_end_ms=fault_heal,
-            seed=args.seed,
-            window_ms=minutes(30),
-        )
+        directory_recovery = None
+        if protocol == "flower":
+            result, recovery, directory_recovery = run_directory_recovery_experiment(
+                protocol,
+                config,
+                fault_start_ms=fault_start,
+                fault_end_ms=fault_heal,
+                seed=args.seed,
+                window_ms=minutes(30),
+                localities=[0],
+            )
+        else:
+            # Squirrel has no directory slots to track; replication is a
+            # Flower-family knob, so the baseline run stays as before.
+            result, recovery = run_recovery_experiment(
+                protocol,
+                config.replace(directory_replication_k=0),
+                fault_start_ms=fault_start,
+                fault_end_ms=fault_heal,
+                seed=args.seed,
+                window_ms=minutes(30),
+            )
         print(f"=== {protocol} (seed {args.seed}) ===")
         print(recovery.render())
         drops = result.extra.get("drop_counts", {})
@@ -64,6 +114,20 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"dead_dst={drops.get('dead_dst', 0)} "
             f"partition={drops.get('partition', 0)}"
         )
+        if directory_recovery is not None:
+            ttfi = directory_recovery["time_to_full_index_ms"]
+            ttfi_text = (
+                "never" if ttfi is None else f"{ttfi / 60_000.0:.0f} min"
+            )
+            staleness = directory_recovery["takeover_staleness_ms"]
+            print(
+                f"directory recovery (locality 0, k={args.replication}): "
+                f"time to full index {ttfi_text}, "
+                f"cold-window misses {directory_recovery['cold_window_misses']}, "
+                f"replicas adopted {directory_recovery['replicas_adopted']} "
+                f"(staleness mean {staleness['mean'] / 60_000.0:.1f} min, "
+                f"max {staleness['max'] / 60_000.0:.1f} min)"
+            )
         print()
         ttr = recovery.time_to_recover_ms()
         rows.append(
@@ -85,6 +149,7 @@ def main(argv: Optional[List[str]] = None) -> None:
                 "partition of locality 0 "
                 f"({fault_start / 3_600_000.0:.0f}h-{fault_heal / 3_600_000.0:.0f}h), "
                 f"P={config.population}"
+                + (", directory wipe mid-cut" if args.wipe else "")
             ),
         )
     )

@@ -91,6 +91,13 @@ class ProtocolParams:
         push_queue_limit: bounded drop-oldest buffer of push/keepalive
             updates queued while the directory is suspect; flushed
             (coalesced to the newest full summary) once it answers again.
+        replication_k: number of D-ring successors each directory
+            replicates its versioned (view, index) state to, plus one
+            in-petal member heir (section 5.3 warm failover).  0 disables
+            replication entirely -- no replica traffic, no extra RNG
+            draws, runs bit-identical to the non-replicated build.
+        replication_anti_entropy_rounds: every Nth replica-sync round
+            ships a full snapshot instead of a delta (anti-entropy).
     """
 
     query_interval_ms: float = minutes(6)
@@ -112,6 +119,8 @@ class ProtocolParams:
     rpc_backoff_ms: float = 500.0
     dir_failure_threshold: int = 2
     push_queue_limit: int = 8
+    replication_k: int = 0
+    replication_anti_entropy_rounds: int = 4
 
     def __post_init__(self) -> None:
         if self.query_interval_ms <= 0 or self.gossip_period_ms <= 0:
@@ -130,6 +139,10 @@ class ProtocolParams:
             raise CDNError("dir_failure_threshold must be >= 1")
         if self.push_queue_limit < 1:
             raise CDNError("push_queue_limit must be >= 1")
+        if self.replication_k < 0:
+            raise CDNError("replication_k must be >= 0")
+        if self.replication_anti_entropy_rounds < 1:
+            raise CDNError("replication_anti_entropy_rounds must be >= 1")
 
 
 class BasePeer(NetworkNode):

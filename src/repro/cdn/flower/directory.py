@@ -56,6 +56,15 @@ class DirectoryRole:
         self.index: Dict[ObjectKey, Set[Address]] = {}
         self.queries_handled = 0
         self.promoting = False  # a PetalUp split is in flight
+        #: Monotonic state version + change journal (replication, section
+        #: 5.3).  Pure state: maintaining these draws no randomness and
+        #: emits no events, so replication-off runs stay bit-identical.
+        self.version = 0
+        self.changed: Dict[Address, int] = {}
+        self.removed: Dict[Address, int] = {}
+        #: True while the owner serves the slot without having won the
+        #: ring position (partition-side takeover awaiting reconciliation).
+        self.provisional = False
 
     # ------------------------------------------------------------------ load
     @property
@@ -66,6 +75,33 @@ class DirectoryRole:
     def overloaded(self, limit: Optional[int]) -> bool:
         return limit is not None and self.load >= limit
 
+    # ------------------------------------------------------------ versioning
+    def _mark_changed(self, address: Address) -> None:
+        self.version += 1
+        self.changed[address] = self.version
+        self.removed.pop(address, None)
+
+    def _mark_removed(self, address: Address) -> None:
+        self.version += 1
+        self.changed.pop(address, None)
+        self.removed[address] = self.version
+
+    def changed_since(self, base_version: int) -> List[Address]:
+        """Members whose view/index entry changed after *base_version*."""
+        return sorted(
+            address
+            for address, version in self.changed.items()
+            if version > base_version
+        )
+
+    def removed_since(self, base_version: int) -> List[Address]:
+        """Members evicted (tombstoned) after *base_version*."""
+        return sorted(
+            address
+            for address, version in self.removed.items()
+            if version > base_version
+        )
+
     # -------------------------------------------------------------- members
     def add_member(self, address: Address, keys: Iterable[ObjectKey] = ()) -> None:
         """Register a content peer (fresh age) and index its keys."""
@@ -73,6 +109,7 @@ class DirectoryRole:
             return
         self.members.add(Contact(address, age=0))
         self.members.refresh(address)
+        self._mark_changed(address)
         self.update_member_keys(address, keys)
 
     def has_member(self, address: Address) -> bool:
@@ -84,6 +121,8 @@ class DirectoryRole:
 
     def remove_member(self, address: Address) -> None:
         """Evict a member and every index pointer to it."""
+        if address in self.members or address in self.member_keys:
+            self._mark_removed(address)
         self.members.remove(address)
         old = self.member_keys.pop(address, None)
         if old:
@@ -98,6 +137,8 @@ class DirectoryRole:
         """Apply a push: replace the member's key set in the index."""
         new = {tuple(key) for key in keys}
         old = self.member_keys.get(address, set())
+        if new != old:
+            self._mark_changed(address)
         for key in old - new:
             holders = self.index.get(key)
             if holders is not None:
@@ -151,6 +192,7 @@ class DirectoryRole:
         """Serializable copy of the index + view (voluntary-leave handoff,
         section 5.2.2)."""
         return {
+            "version": self.version,
             "members": [(c.address, c.age) for c in self.members.contacts()],
             "member_keys": {
                 address: sorted(keys) for address, keys in self.member_keys.items()
@@ -159,12 +201,52 @@ class DirectoryRole:
 
     def adopt_snapshot(self, snapshot: Dict[str, object]) -> None:
         """Install a predecessor's index + view (received at handoff)."""
+        inherited = int(snapshot.get("version", 0))
+        if inherited > self.version:
+            self.version = inherited
         for address, age in snapshot.get("members", []):
             if address != self.owner_address:
                 self.members.add(Contact(address, age))
+                self._mark_changed(address)
         for address, keys in snapshot.get("member_keys", {}).items():
             if address != self.owner_address:
                 self.update_member_keys(address, [tuple(k) for k in keys])
+
+    def merge_remote(
+        self,
+        members: Dict[Address, int],
+        member_keys: Dict[Address, Iterable[ObjectKey]],
+        remote_version: int,
+    ) -> int:
+        """Merge another claimant's state (split-brain heal, section 5.3).
+
+        Per-entry dominance: a member unknown to us is adopted outright; a
+        member both sides know is adopted from the remote side only when
+        its remote age is *smaller* (fresher contact) or ages tie and the
+        remote carries the higher state version.  Returns the number of
+        entries adopted.  Afterwards our version jumps past both sides so
+        replicas downstream observe a strictly newer state.
+        """
+        adopted = 0
+        for address, age in members.items():
+            if address == self.owner_address:
+                continue
+            mine = self.members.get(address)
+            if mine is not None and not (
+                age < mine.age or (age == mine.age and remote_version > self.version)
+            ):
+                continue
+            self.members.add(Contact(address, age))
+            self._mark_changed(address)
+            keys = member_keys.get(address, ())
+            if keys:
+                self.update_member_keys(address, [tuple(k) for k in keys])
+            adopted += 1
+        if remote_version >= self.version:
+            # Jump strictly past the remote claimant: replicas downstream
+            # must be able to tell the merged state from either input.
+            self.version = remote_version + 1
+        return adopted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -106,6 +106,18 @@ class DRingKeyService:
         """Do two directory identifiers serve the same website?"""
         return (a >> self.arc_bits) == (b >> self.arc_bits)
 
+    def petal_of(self, position: ChordId) -> Optional[Tuple[WebsiteId, LocalityId]]:
+        """The (website, locality) petal a directory identifier serves.
+
+        Used by the warm-failover protocol (section 5.3) so a content peer
+        can tell whether an announced directory slot concerns *its* petal
+        without repeating the full decode/validity dance at call sites.
+        """
+        decoded = self.decode(position)
+        if decoded is None:
+            return None
+        return decoded[0], decoded[1]
+
     def all_positions(self, instance: int = 0):
         """Every (website, locality) position at a given instance index."""
         for website in range(self.num_websites):

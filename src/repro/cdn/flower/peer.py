@@ -41,6 +41,13 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.cdn.base import BasePeer
 from repro.cdn.flower.directory import DirectoryRole
+from repro.cdn.flower.replication import (
+    DirectoryReplicator,
+    ReplicaRecord,
+    ReplicaStore,
+    delta_sync_payload,
+    full_sync_payload,
+)
 from repro.errors import CDNError
 from repro.dht.node import ChordNode, LookupResult, NodeRef, deliver_route_result, route_step
 from repro.gossip.cyclon import CyclonProtocol
@@ -120,6 +127,11 @@ class FlowerPeer(BasePeer):
         self._sweep_process: Optional[PeriodicProcess] = None
         self._recovering = False
         self._registering = False
+        # --- warm failover (section 5.3; inert while replication_k == 0) ---
+        self.replica_store = ReplicaStore()
+        self._replicator: Optional[DirectoryReplicator] = None
+        self._reconciling = False
+        self._last_announce_ms = float("-inf")
         # --- delivery fast path ---
         # Pre-register dispatch wrappers so ``Network._deliver`` hits the
         # handler cache directly and skips the ``on_message`` frame for the
@@ -225,6 +237,12 @@ class FlowerPeer(BasePeer):
             if self.directory.chord is not None:
                 self.directory.chord.shutdown()
             self.directory = None
+        if self._replicator is not None:
+            self._replicator.stop()
+            self._replicator = None
+        self.replica_store.clear()
+        self._reconciling = False
+        self._last_announce_ms = float("-inf")
         self.dir_info = None
         self.view.clear()
         self.peer_summaries.clear()
@@ -920,6 +938,7 @@ class FlowerPeer(BasePeer):
         def on_failed(reason: str, holder: Optional[NodeRef]) -> None:
             self._recovering = False
             role.chord.shutdown()
+            role.chord = None
             if holder is not None and self.alive:
                 # Someone else integrated first: adopt them (section 5.2.2)
                 # and hand them our content by pushing.
@@ -928,6 +947,18 @@ class FlowerPeer(BasePeer):
                 self.store.reset_push_state()
                 if len(self.store):
                     self._push_to_directory()
+            elif (
+                reason == "lookup"
+                and self.alive
+                and self._replication_on
+                and self.directory is None
+            ):
+                # D-ring is unreachable -- most likely we sit on the minority
+                # side of a partition.  Serve the petal *provisionally*
+                # (seeded from any replica we hold) and keep retrying the
+                # integration; the reconciliation protocol resolves any
+                # split-brain claim once the partition heals (section 5.3).
+                self._activate_provisional(role)
             self.sim.emit(
                 "flower.directory_join_failed",
                 peer=self.address,
@@ -969,6 +1000,12 @@ class FlowerPeer(BasePeer):
             locality=role.locality,
             instance=role.instance,
         )
+        if self._replication_on:
+            self._attach_replicator(role)
+            if role.load == 0:
+                # Cold crash-replacement: win back the index from replicas
+                # instead of waiting out keepalives/pushes (section 5.3).
+                self._warm_takeover(role)
 
     def _sweep_tick(self) -> None:
         if self.directory is None or not self.alive:
@@ -998,29 +1035,548 @@ class FlowerPeer(BasePeer):
     def leave_directory_gracefully(self) -> None:
         """Voluntary departure of a directory peer (section 5.2.2): transfer
         a copy of the view and directory-index to a content peer, which
-        joins D-ring in our place, then leave the ring."""
+        joins D-ring in our place, then leave the ring.
+
+        With replication enabled (section 5.3) the preferred heir is the
+        member that already receives our replica syncs, and the handoff
+        carries only a **delta** against the version it last acknowledged
+        instead of the whole snapshot.
+        """
         role = self.directory
         if role is None:
             return
-        heir = role.member_sample(self.rng, 1)
-        snapshot = role.snapshot()
+        heir: Optional[Address] = None
+        acked_base: Optional[int] = None
+        replicator = self._replicator
+        if replicator is not None and replicator.role is role:
+            candidate = replicator.member_heir()
+            if candidate is not None:
+                heir = candidate
+                acked_base = replicator.acked.get(candidate)
+            replicator.stop()
+            self._replicator = None
+        if heir is None:
+            sample = role.member_sample(self.rng, 1)
+            heir = sample[0] if sample else None
         if role.chord is not None:
             role.chord.leave_gracefully()
         self.directory = None
         if self._sweep_process is not None:
             self._sweep_process.cancel()
             self._sweep_process = None
-        if heir:
-            self.send(
-                heir[0],
-                "flower.handoff",
-                snapshot=snapshot,
-                website=role.website,
-                locality=role.locality,
-                instance=role.instance,
-                position=role.position_id,
-            )
+        if heir is not None:
+            if self._replication_on:
+                if acked_base is not None:
+                    sync = delta_sync_payload(role, self.address, acked_base)
+                else:
+                    sync = full_sync_payload(role, self.address)
+                self.send(
+                    heir,
+                    "flower.handoff",
+                    sync=sync,
+                    website=role.website,
+                    locality=role.locality,
+                    instance=role.instance,
+                    position=role.position_id,
+                )
+            else:
+                self.send(
+                    heir,
+                    "flower.handoff",
+                    snapshot=role.snapshot(),
+                    website=role.website,
+                    locality=role.locality,
+                    instance=role.instance,
+                    position=role.position_id,
+                )
         self.sim.emit("flower.directory_left", peer=self.address)
+
+    # =====================================================================
+    # Warm failover and replication (section 5.3; robustness extension)
+    # =====================================================================
+    @property
+    def _replication_on(self) -> bool:
+        return self.system.params.replication_k > 0
+
+    def _attach_replicator(self, role: DirectoryRole) -> None:
+        """(Re)start the periodic replica-sync driver for *role*."""
+        replicator = self._replicator
+        if replicator is not None:
+            if replicator.role is role and replicator.active:
+                return
+            replicator.stop()
+        self._replicator = DirectoryReplicator(self, role)
+
+    def _warm_takeover(self, role: DirectoryRole) -> None:
+        """Seed a cold replacement role from replicas: our own store first
+        (the member heir winning the race pays zero round trips), then the
+        ring successors of the freshly (re)claimed position."""
+        record = self.replica_store.get(role.position_id)
+        if record is not None:
+            self.replica_store.drop(role.position_id)
+            self._merge_replica(
+                role,
+                record.members,
+                record.member_keys,
+                record.version,
+                origin=record.origin,
+                staleness_ms=self.sim.now - record.updated_at,
+                source="local",
+            )
+        chord = role.chord
+        if chord is None:
+            return
+        targets: List[Address] = []
+        seen = {self.address}
+        for ref in chord.successors:
+            if len(targets) >= self.system.params.replication_k:
+                break
+            if ref.address in seen:
+                continue
+            seen.add(ref.address)
+            targets.append(ref.address)
+        for target in targets:
+            self._fetch_replica(role, target)
+
+    def _fetch_replica(self, role: DirectoryRole, target: Address) -> None:
+        """Pull the replica of *role*'s position stored at *target*."""
+
+        def on_reply(reply: Dict[str, Any], target=target) -> None:
+            if self.directory is not role or not self.alive:
+                return
+            holder = reply.get("holder")
+            if holder is not None and holder != self.address:
+                self._resolve_slot_conflict(
+                    role, holder, bool(reply.get("registered"))
+                )
+                return
+            replica = reply.get("replica")
+            if replica is not None:
+                self._merge_replica_summary(role, replica, source=target)
+
+        self.rpc(
+            target,
+            "flower.replica_fetch",
+            {"position": role.position_id},
+            on_reply,
+            on_timeout=lambda: None,
+        )
+
+    def _merge_replica_summary(
+        self, role: DirectoryRole, summary: Dict[str, Any], source: Address
+    ) -> None:
+        snapshot = summary["snapshot"]
+        if snapshot["version"] <= role.version:
+            return  # we already hold state at least this fresh
+        members = {address: age for address, age in snapshot["members"]}
+        member_keys = {
+            address: [tuple(k) for k in keys]
+            for address, keys in snapshot["member_keys"].items()
+        }
+        self._merge_replica(
+            role,
+            members,
+            member_keys,
+            snapshot["version"],
+            origin=summary["origin"],
+            staleness_ms=summary["staleness_ms"],
+            source=source,
+        )
+
+    def _merge_replica(
+        self,
+        role: DirectoryRole,
+        members: Dict[Address, int],
+        member_keys: Dict[Address, List[ObjectKey]],
+        version: int,
+        origin: Address,
+        staleness_ms: float,
+        source: Any,
+    ) -> None:
+        """Fold replica state into *role* (per-entry age dominance)."""
+        adopted = role.merge_remote(members, member_keys, version)
+        self.sim.emit(
+            "flower.replica_adopted",
+            peer=self.address,
+            position=role.position_id,
+            website=role.website,
+            locality=role.locality,
+            instance=role.instance,
+            version=version,
+            origin=origin,
+            adopted=adopted,
+            members=role.load,
+            staleness_ms=staleness_ms,
+            source=source,
+        )
+
+    # --------------------------------------------- provisional (partitioned)
+    def _activate_provisional(self, role: DirectoryRole) -> None:
+        """Serve the slot without ring membership (partition-side takeover).
+
+        The petal keeps a -- warm, if we held a replica -- directory during
+        the cut; integration into D-ring is retried in the background until
+        it succeeds or a conflicting claimant wins the reconciliation.
+        """
+        role.provisional = True
+        role.chord = None
+        self.directory = role
+        self.dir_info = None
+        self._dir_strikes = 0
+        self._reprobe_pending = False
+        self._pending_pushes.clear()
+        params = self.system.params
+        if self._sweep_process is None or not self._sweep_process.active:
+            self._sweep_process = PeriodicProcess(
+                self.sim,
+                params.keepalive_period_ms,
+                self._sweep_tick,
+                initial_delay=params.keepalive_period_ms,
+                jitter=0.05,
+                rng=self.rng,
+            )
+        record = self.replica_store.get(role.position_id)
+        if record is not None:
+            self.replica_store.drop(role.position_id)
+            self._merge_replica(
+                role,
+                record.members,
+                record.member_keys,
+                record.version,
+                origin=record.origin,
+                staleness_ms=self.sim.now - record.updated_at,
+                source="local",
+            )
+        self.sim.emit(
+            "flower.directory_provisional",
+            peer=self.address,
+            position=role.position_id,
+            website=role.website,
+            locality=role.locality,
+            instance=role.instance,
+        )
+        self._attach_replicator(role)
+        self._announce_directory(role)
+        self._schedule_provisional_retry(role)
+
+    def _schedule_provisional_retry(self, role: DirectoryRole) -> None:
+        self.sim.schedule(
+            4.0 * self.system.params.scan_retry_delay_ms,
+            self._provisional_retry,
+            role,
+        )
+
+    def _provisional_retry(self, role: DirectoryRole) -> None:
+        """Re-announce and retry D-ring integration of a provisional role."""
+        if not self.alive or self.directory is not role or not role.provisional:
+            return
+        if self._reconciling:
+            self._schedule_provisional_retry(role)
+            return
+        self._announce_directory(role)
+        node = ChordNode(self, self.system.ring, role.position_id)
+        bootstrap = self.system.ring.random_bootstrap(self.rng)
+        if bootstrap is None:
+            node.create()
+            self._promote_provisional(role, node)
+            return
+        role.chord = node  # answer ring traffic while the join is in flight
+
+        def on_joined() -> None:
+            self._promote_provisional(role, node)
+
+        def on_failed(reason: str, holder: Optional[NodeRef]) -> None:
+            node.shutdown()
+            if self.directory is not role or not self.alive:
+                return
+            role.chord = None
+            if holder is not None:
+                # A registered holder exists: the ring is the arbiter
+                # (section 5.2.2) -- merge our state into it and demote.
+                self._reconcile_and_demote(role, holder.address)
+            else:
+                self._schedule_provisional_retry(role)
+
+        node.join(bootstrap, on_joined, on_failed)
+
+    def _promote_provisional(self, role: DirectoryRole, node: ChordNode) -> None:
+        if not self.alive or self.directory is not role:
+            node.shutdown()
+            return
+        role.chord = node
+        role.provisional = False
+        self._directory_role_active(role)
+
+    # -------------------------------------------------- announce / conflicts
+    def _announce_directory(
+        self, role: DirectoryRole, targets: Optional[List[Address]] = None
+    ) -> None:
+        """Tell petal members (and view contacts) that we serve the slot.
+
+        Short-circuits the hour-scale keepalive strike-out for members still
+        pointing at the dead directory, and doubles as the discovery channel
+        through which conflicting claimants (split brain) find each other
+        and replica holders surface their copies.  Broadcast form is
+        rate-limited to one fan-out per scan-retry delay.
+        """
+        if targets is None:
+            now = self.sim.now
+            if now - self._last_announce_ms < self.system.params.scan_retry_delay_ms:
+                return
+            self._last_announce_ms = now
+            fanout = set(role.members.addresses()) | set(self.view.addresses())
+            fanout.discard(self.address)
+            targets = sorted(fanout)
+        payload = {
+            "position": role.position_id,
+            "registered": role.chord is not None and not role.provisional,
+        }
+        for target in targets:
+            self._send_announce(role, target, payload)
+
+    def _send_announce(
+        self, role: DirectoryRole, target: Address, payload: Dict[str, Any]
+    ) -> None:
+        def on_reply(reply: Dict[str, Any], target=target) -> None:
+            if self.directory is not role or not self.alive:
+                return
+            conflict = reply.get("conflict")
+            if conflict is not None and conflict != self.address:
+                self._resolve_slot_conflict(
+                    role, conflict, bool(reply.get("registered"))
+                )
+                return
+            replica = reply.get("replica")
+            if replica is not None:
+                self._merge_replica_summary(role, replica, source=target)
+
+        self.rpc(
+            target,
+            "flower.dir_announce",
+            dict(payload),
+            on_reply,
+            on_timeout=lambda: None,
+        )
+
+    def _resolve_slot_conflict(
+        self, role: DirectoryRole, other: Address, other_registered: bool
+    ) -> None:
+        """Two live claimants of one slot (split brain): decide who demotes.
+
+        Deterministic rule: a ring-registered holder beats a provisional
+        claimant (the ring is the arbiter, section 5.2.2); between two
+        provisionals the smaller address wins.  Exactly one side demotes;
+        the non-demoting side (re-)announces so the loser hears of it.
+        """
+        if self.directory is not role or not self.alive or other == self.address:
+            return
+        mine_registered = role.chord is not None and not role.provisional
+        if mine_registered and not other_registered:
+            self._announce_directory(role, targets=[other])
+        elif other_registered and not mine_registered:
+            self._reconcile_and_demote(role, other)
+        elif not mine_registered and not other_registered:
+            if other < self.address:
+                self._reconcile_and_demote(role, other)
+            else:
+                self._announce_directory(role, targets=[other])
+        # Both registered cannot happen: ChordRing.try_register arbitrates.
+
+    def _reconcile_and_demote(self, role: DirectoryRole, winner: Address) -> None:
+        """Send the winner our full state; demote once it confirms the merge.
+
+        Never demote toward a peer that turns out dead or no longer a
+        directory -- better a transient duplicate than adopting a corpse.
+        """
+        if self.directory is not role or self._reconciling or not self.alive:
+            return
+        self._reconciling = True
+        payload = full_sync_payload(role, self.address)
+
+        def on_reply(reply: Dict[str, Any]) -> None:
+            self._reconciling = False
+            if self.directory is not role or not self.alive:
+                return
+            if reply.get("status") == "merged":
+                self._demote_role(role, winner)
+            elif role.provisional:
+                self._schedule_provisional_retry(role)
+
+        def on_timeout() -> None:
+            self._reconciling = False
+            if self.directory is role and self.alive and role.provisional:
+                self._schedule_provisional_retry(role)
+
+        self.rpc(winner, "flower.slot_reconcile", payload, on_reply, on_timeout)
+
+    def _demote_role(self, role: DirectoryRole, winner: Address) -> None:
+        """Stop serving the slot; redirect our members (and ourselves) at
+        the merge winner so they re-push and its index converges (I4)."""
+        if self.directory is not role:
+            return
+        for member in role.members.addresses():
+            if member != winner:
+                self.send(
+                    member,
+                    "flower.dir_redirect",
+                    position=role.position_id,
+                    winner=winner,
+                )
+        if self._replicator is not None and self._replicator.role is role:
+            self._replicator.stop()
+            self._replicator = None
+        if role.chord is not None:
+            role.chord.shutdown()
+            role.chord = None
+        self.directory = None
+        if self._sweep_process is not None:
+            self._sweep_process.cancel()
+            self._sweep_process = None
+        self.sim.emit(
+            "flower.directory_demoted",
+            peer=self.address,
+            position=role.position_id,
+            winner=winner,
+        )
+        if role.website == self.website and role.locality == self.locality:
+            self.dir_info = DirInfo(role.position_id, winner, age=0)
+            self._dir_strikes = 0
+            self._reprobe_pending = False
+            self._pending_pushes.clear()
+            self._start_content_processes()
+            self.store.reset_push_state()
+            if len(self.store):
+                self._push_to_directory()
+
+    # ------------------------------------------------ replication handlers
+    def handle_flower_replica_sync(self, message: Message) -> Dict[str, Any]:
+        """Store (or merge) a directory's replicated state (section 5.3)."""
+        if not self._replication_on or not self.alive:
+            return {"status": "off"}
+        payload = message.payload
+        d = self.directory
+        if d is not None and d.position_id == payload["position"]:
+            # The origin still believes it owns a slot we now serve: absorb
+            # its entries (per-entry dominance) and surface the conflict so
+            # it starts the reconciliation.
+            members = {a: age for a, age, _keys in payload.get("entries", ())}
+            member_keys = {a: keys for a, _age, keys in payload.get("entries", ())}
+            d.merge_remote(members, member_keys, payload["version"])
+            return {
+                "status": "conflict",
+                "holder": self.address,
+                "registered": d.chord is not None and not d.provisional,
+            }
+        return self.replica_store.accept(payload, self.sim.now)
+
+    def handle_flower_replica_fetch(self, message: Message) -> Dict[str, Any]:
+        """Hand our stored replica of a position to its new claimant."""
+        if not self._replication_on or not self.alive:
+            return {"replica": None}
+        position = message.payload["position"]
+        d = self.directory
+        if d is not None and d.position_id == position:
+            return {
+                "replica": None,
+                "holder": self.address,
+                "registered": d.chord is not None and not d.provisional,
+            }
+        record = self.replica_store.get(position)
+        return {
+            "replica": record.summary(self.sim.now) if record is not None else None
+        }
+
+    def handle_flower_dir_announce(self, message: Message) -> Dict[str, Any]:
+        """A (possibly provisional) claimant announced it serves a slot."""
+        if not self._replication_on or not self.alive:
+            return {}
+        payload = message.payload
+        position = payload["position"]
+        reply: Dict[str, Any] = {}
+        record = self.replica_store.get(position)
+        if record is not None:
+            reply["replica"] = record.summary(self.sim.now)
+        d = self.directory
+        if d is not None:
+            if d.position_id == position:
+                reply["conflict"] = self.address
+                reply["registered"] = d.chord is not None and not d.provisional
+                self._resolve_slot_conflict(
+                    d, message.src, bool(payload.get("registered"))
+                )
+            return reply
+        if self.system.key_service.petal_of(position) != (
+            self.website,
+            self.locality,
+        ):
+            return reply
+        info = self.dir_info
+        if info is not None and info.position_id != position:
+            return reply
+        # Adopt the announcer when we have no directory, when it merely
+        # re-announces itself, when it is ring-registered (authoritative),
+        # or when our current directory is suspect -- but never steal a
+        # member from a healthy registered directory for a provisional one.
+        if (
+            info is None
+            or info.address == message.src
+            or bool(payload.get("registered"))
+            or self._dir_suspect
+        ):
+            changed = info is None or info.address != message.src
+            self.dir_info = DirInfo(position, message.src, age=0)
+            self._dir_strikes = 0
+            self._reprobe_pending = False
+            self._pending_pushes.clear()
+            self._start_content_processes()
+            if changed:
+                self.store.reset_push_state()
+                if len(self.store):
+                    self._push_to_directory()
+        return reply
+
+    def handle_flower_slot_reconcile(self, message: Message) -> Dict[str, Any]:
+        """A demoting claimant hands us its state: merge per-entry."""
+        if not self._replication_on or not self.alive:
+            return {"status": "not_directory"}
+        payload = message.payload
+        d = self.directory
+        if d is None or d.position_id != payload["position"]:
+            return {"status": "not_directory"}
+        members = {a: age for a, age, _keys in payload.get("entries", ())}
+        member_keys = {a: keys for a, _age, keys in payload.get("entries", ())}
+        adopted = d.merge_remote(members, member_keys, payload["version"])
+        self.sim.emit(
+            "flower.slot_merged",
+            peer=self.address,
+            position=d.position_id,
+            origin=message.src,
+            adopted=adopted,
+            version=d.version,
+        )
+        return {"status": "merged", "version": d.version, "adopted": adopted}
+
+    def handle_flower_dir_redirect(self, message: Message) -> None:
+        """Our directory demoted: re-point at the merge winner and re-push."""
+        if not self._replication_on or not self.alive or self.directory is not None:
+            return None
+        payload = message.payload
+        winner = payload["winner"]
+        if winner == self.address:
+            return None
+        info = self.dir_info
+        if info is not None and info.position_id != payload["position"]:
+            return None
+        if info is None or info.address != winner:
+            self.dir_info = DirInfo(payload["position"], winner, age=0)
+            self._dir_strikes = 0
+            self._reprobe_pending = False
+            self._pending_pushes.clear()
+            self._start_content_processes()
+            self.store.reset_push_state()
+            if len(self.store):
+                self._push_to_directory()
+        return None
 
     # =====================================================================
     # Message handlers (directory side)
@@ -1178,18 +1734,17 @@ class FlowerPeer(BasePeer):
             d.promoting = False
             d.remove_member(target)
 
-        self.rpc(
-            target,
-            "flower.promote",
-            {
-                "website": d.website,
-                "locality": d.locality,
-                "instance": d.instance + 1,
-                "position": next_position,
-            },
-            on_reply,
-            on_timeout,
-        )
+        payload: Dict[str, Any] = {
+            "website": d.website,
+            "locality": d.locality,
+            "instance": d.instance + 1,
+            "position": next_position,
+        }
+        if self._replication_on:
+            # Seed the new instance with a warm copy of our own index so a
+            # split starts with full knowledge of the petal (section 5.3).
+            payload["replica"] = full_sync_payload(d, self.address)
+        self.rpc(target, "flower.promote", payload, on_reply, on_timeout)
 
     def _reset_promoting(self, d: DirectoryRole) -> None:
         d.promoting = False
@@ -1199,6 +1754,9 @@ class FlowerPeer(BasePeer):
         if self.directory is not None or self._recovering or not self.alive:
             return {"accepted": False}
         payload = message.payload
+        replica = payload.get("replica")
+        if replica is not None and self._replication_on:
+            self.replica_store.accept(replica, self.sim.now)
         self._begin_directory_role(
             payload["website"],
             payload["locality"],
@@ -1212,12 +1770,25 @@ class FlowerPeer(BasePeer):
         if self.directory is not None or self._recovering or not self.alive:
             return None
         payload = message.payload
+        snapshot = payload.get("snapshot")
+        sync = payload.get("sync")
+        if sync is not None and self._replication_on:
+            # Delta handoff (section 5.3): apply the leaving directory's
+            # delta on top of whatever replica we already hold, then adopt
+            # the reconstructed state as our own starting snapshot.
+            record = self.replica_store.get(sync["position"])
+            if record is None:
+                record = ReplicaRecord(sync, self.sim.now)
+            else:
+                record.apply(sync, self.sim.now)
+            snapshot = record.to_snapshot()
+            self.replica_store.drop(sync["position"])
         self._begin_directory_role(
             payload["website"],
             payload["locality"],
             payload["instance"],
             payload["position"],
-            snapshot=payload.get("snapshot"),
+            snapshot=snapshot,
         )
         return None
 

@@ -1,0 +1,362 @@
+"""Directory replication and warm takeover (robustness extension).
+
+The paper's replacement protocol (section 5.2) restarts a crashed
+directory slot from an **empty** member view and index: the replacement
+only re-learns its petal through keepalives and pushes, leaving a cold
+window during which ``d(ws, loc)`` misses on content its petal actually
+holds.  This module closes that window with the standard cure from the
+replica-management literature: each directory peer asynchronously
+replicates a **versioned snapshot** of its (member-view, directory-index)
+state so the replacement race is won by -- or seeded from -- a warm
+replica instead of an empty view.
+
+Replication targets (``ReplicationParams.k`` + 1 of them):
+
+- the directory's ``k`` **D-ring successors** -- thanks to the key
+  management service these are the next directory instances/websites on
+  the ring, i.e. exactly the peers a post-heal replacement can reach; and
+- one **member heir** inside the petal (the member with the smallest
+  address -- deterministic), so a replica survives *inside* a partition
+  that cuts the petal's locality off from the rest of the ring.
+
+Wire protocol (all kinds gated behind ``replication_k > 0``; a run with
+replication off sends none of these and stays bit-identical to the
+non-replicated build):
+
+``flower.replica_sync``
+    Periodic (piggybacked on the keepalive/stabilization cadence) state
+    transfer from a directory to one target.  Normally a **delta** against
+    the version the target last acknowledged; every
+    ``replication_anti_entropy_rounds``-th round it is a **full snapshot**
+    (anti-entropy: heals any divergence deltas cannot express).  The
+    receiver stores it in its :class:`ReplicaStore` and acknowledges the
+    new version; version-behind syncs are rejected (``"stale"``), deltas
+    against an unknown base request a full snapshot (``"need_full"``).
+``flower.replica_fetch``
+    A freshly activated (empty) replacement directory pulls the
+    highest-version replica of its position from its new ring successors;
+    its own :class:`ReplicaStore` is consulted first (the member heir
+    winning the race takes over with zero network round trips).
+
+Versioning: :class:`~repro.cdn.flower.directory.DirectoryRole` carries a
+monotonically increasing ``version`` plus a change journal (member ->
+version of last change, tombstones for removals).  The journal is pure
+state -- maintaining it draws no randomness and emits no events, which is
+what keeps replication-off runs on the determinism goldens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import CDNError
+from repro.sim.process import PeriodicProcess
+from repro.types import Address, ChordId, ObjectKey
+
+
+def full_sync_payload(role, origin: Address) -> Dict[str, Any]:
+    """A complete, versioned copy of *role*'s replicated state."""
+    ages = {c.address: c.age for c in role.members.contacts()}
+    entries = [
+        (address, age, sorted(role.member_keys.get(address, ())))
+        for address, age in ages.items()
+    ]
+    return {
+        "position": role.position_id,
+        "website": role.website,
+        "locality": role.locality,
+        "instance": role.instance,
+        "origin": origin,
+        "version": role.version,
+        "full": True,
+        "entries": entries,
+        "removed": [],
+    }
+
+
+def delta_sync_payload(role, origin: Address, base_version: int) -> Dict[str, Any]:
+    """Changes of *role* since *base_version* (exclusive)."""
+    ages = {c.address: c.age for c in role.members.contacts()}
+    entries = [
+        (address, ages.get(address, 0), sorted(role.member_keys.get(address, ())))
+        for address in role.changed_since(base_version)
+    ]
+    return {
+        "position": role.position_id,
+        "website": role.website,
+        "locality": role.locality,
+        "instance": role.instance,
+        "origin": origin,
+        "version": role.version,
+        "full": False,
+        "base_version": base_version,
+        "entries": entries,
+        "removed": role.removed_since(base_version),
+    }
+
+
+class ReplicaRecord:
+    """One stored replica: the versioned state of a remote directory slot."""
+
+    __slots__ = (
+        "position",
+        "website",
+        "locality",
+        "instance",
+        "origin",
+        "version",
+        "updated_at",
+        "members",
+        "member_keys",
+    )
+
+    def __init__(self, payload: Dict[str, Any], now: float) -> None:
+        self.position: ChordId = payload["position"]
+        self.website: int = payload["website"]
+        self.locality: int = payload["locality"]
+        self.instance: int = payload["instance"]
+        self.origin: Address = payload["origin"]
+        self.version: int = payload["version"]
+        self.updated_at: float = now
+        self.members: Dict[Address, int] = {}
+        self.member_keys: Dict[Address, List[ObjectKey]] = {}
+        self._apply_entries(payload)
+
+    def _apply_entries(self, payload: Dict[str, Any]) -> None:
+        for address, age, keys in payload.get("entries", ()):
+            self.members[address] = age
+            self.member_keys[address] = [tuple(k) for k in keys]
+        for address in payload.get("removed", ()):
+            self.members.pop(address, None)
+            self.member_keys.pop(address, None)
+
+    def apply(self, payload: Dict[str, Any], now: float) -> None:
+        """Install a full snapshot or apply a delta on top of this record."""
+        if payload.get("full"):
+            self.members.clear()
+            self.member_keys.clear()
+        self.origin = payload["origin"]
+        self.version = payload["version"]
+        self.updated_at = now
+        self._apply_entries(payload)
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """The :meth:`DirectoryRole.adopt_snapshot`-compatible form."""
+        return {
+            "version": self.version,
+            "members": [(address, age) for address, age in self.members.items()],
+            "member_keys": {
+                address: list(keys) for address, keys in self.member_keys.items()
+            },
+        }
+
+    def summary(self, now: float) -> Dict[str, Any]:
+        """Wire form returned to a ``flower.replica_fetch``."""
+        return {
+            "version": self.version,
+            "origin": self.origin,
+            "updated_at": self.updated_at,
+            "staleness_ms": now - self.updated_at,
+            "snapshot": self.to_snapshot(),
+        }
+
+
+class ReplicaStore:
+    """Per-peer storage of replicas received via ``flower.replica_sync``."""
+
+    def __init__(self) -> None:
+        self._records: Dict[ChordId, ReplicaRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def positions(self) -> List[ChordId]:
+        return list(self._records)
+
+    def get(self, position: ChordId) -> Optional[ReplicaRecord]:
+        return self._records.get(position)
+
+    def drop(self, position: ChordId) -> None:
+        self._records.pop(position, None)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def accept(self, payload: Dict[str, Any], now: float) -> Dict[str, Any]:
+        """Apply one sync message; return the acknowledgement payload.
+
+        Acceptance rules (the versioning contract of section 5.3):
+
+        - a **full** snapshot replaces the record unless it is *version
+          behind* what we already hold -- a stale origin (e.g. a demoted
+          split-brain loser) is told so and must not be acknowledged;
+        - a **delta** applies only on top of exactly ``base_version``;
+          anything else (no record, a gap, a version regression) requests
+          a full snapshot instead of guessing.
+        """
+        position = payload["position"]
+        record = self._records.get(position)
+        if payload.get("full"):
+            if record is not None and payload["version"] < record.version:
+                return {"status": "stale", "have": record.version}
+            if record is None:
+                self._records[position] = ReplicaRecord(payload, now)
+                record = self._records[position]
+                record.version = payload["version"]
+            else:
+                record.apply(payload, now)
+            return {"status": "ok", "version": record.version}
+        if record is None or record.version != payload.get("base_version"):
+            return {
+                "status": "need_full",
+                "have": record.version if record is not None else -1,
+            }
+        if payload["version"] < record.version:
+            return {"status": "stale", "have": record.version}
+        record.apply(payload, now)
+        return {"status": "ok", "version": record.version}
+
+    def best_for(self, position: ChordId) -> Optional[ReplicaRecord]:
+        """Alias of :meth:`get` kept for call-site readability."""
+        return self._records.get(position)
+
+
+class DirectoryReplicator:
+    """Drives the periodic replica-sync of one directory role.
+
+    Attached by :class:`~repro.cdn.flower.peer.FlowerPeer` when it
+    activates a directory role with ``params.replication_k > 0``.  One
+    sync tick runs per keepalive period (the paper couples directory
+    maintenance to that cadence); every ``anti_entropy_rounds``-th tick
+    ships full snapshots instead of deltas.
+
+    Determinism note: the tick process draws its initial delay and jitter
+    from the owning peer's private stream -- replication-enabled runs have
+    their own deterministic schedule, and replication-off runs never
+    construct this object.
+    """
+
+    def __init__(self, peer, role) -> None:
+        params = peer.system.params
+        if params.replication_k < 1:
+            raise CDNError("DirectoryReplicator needs replication_k >= 1")
+        self.peer = peer
+        self.role = role
+        self.k = params.replication_k
+        self.anti_entropy_rounds = params.replication_anti_entropy_rounds
+        #: target address -> last version it acknowledged.
+        self.acked: Dict[Address, int] = {}
+        self.rounds = 0
+        self.stats = {"syncs": 0, "fulls": 0, "deltas": 0, "rejected": 0}
+        period = params.keepalive_period_ms
+        self._process: Optional[PeriodicProcess] = PeriodicProcess(
+            peer.sim,
+            period,
+            self._sync_tick,
+            initial_delay=peer.rng.uniform(0.25 * period, 0.75 * period),
+            jitter=0.05,
+            rng=peer.rng,
+        )
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def active(self) -> bool:
+        return self._process is not None
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.cancel()
+            self._process = None
+
+    # --------------------------------------------------------------- targets
+    def member_heir(self) -> Optional[Address]:
+        """The deterministic in-petal replica target: the member with the
+        smallest address.  It survives partitions that cut the petal's
+        locality off from the rest of the D-ring."""
+        addresses = self.role.members.addresses()
+        return min(addresses) if addresses else None
+
+    def targets(self) -> List[Address]:
+        """Member heir + up to ``k`` distinct ring successors."""
+        out: List[Address] = []
+        seen: Set[Address] = {self.peer.address}
+        heir = self.member_heir()
+        if heir is not None:
+            out.append(heir)
+            seen.add(heir)
+        chord = self.role.chord
+        successors: Tuple = tuple(chord.successors) if chord is not None else ()
+        ring = 0
+        for ref in successors:
+            if ring >= self.k:
+                break
+            if ref.address in seen:
+                continue
+            seen.add(ref.address)
+            out.append(ref.address)
+            ring += 1
+        return out
+
+    # ------------------------------------------------------------------ sync
+    def _sync_tick(self) -> None:
+        peer = self.peer
+        if not peer.alive or peer.directory is not self.role:
+            return
+        self.rounds += 1
+        force_full = self.rounds % self.anti_entropy_rounds == 0
+        for target in self.targets():
+            self.sync_target(target, force_full=force_full)
+
+    def sync_target(self, target: Address, force_full: bool = False) -> None:
+        """Send one sync (delta when possible) to *target*."""
+        role = self.role
+        peer = self.peer
+        base = self.acked.get(target)
+        if base is not None and not force_full and base == role.version:
+            return  # nothing new since the last acknowledgement
+        if base is None or force_full:
+            payload = full_sync_payload(role, peer.address)
+            self.stats["fulls"] += 1
+        else:
+            payload = delta_sync_payload(role, peer.address, base)
+            self.stats["deltas"] += 1
+        self.stats["syncs"] += 1
+
+        def on_reply(reply: Dict[str, Any], target=target) -> None:
+            if peer.directory is not role:
+                return
+            status = reply.get("status")
+            if status == "ok":
+                self.acked[target] = reply["version"]
+            elif status == "need_full":
+                # Target lost (or never had) our base: next tick goes full.
+                self.acked.pop(target, None)
+            elif status == "conflict":
+                # The target *is itself* a live directory of our slot --
+                # split brain discovered through replication traffic.
+                self.acked.pop(target, None)
+                peer._resolve_slot_conflict(
+                    role, reply["holder"], bool(reply.get("registered"))
+                )
+            elif status == "off":
+                self.acked.pop(target, None)
+            else:  # "stale": the target holds a *newer* replica than our
+                # state -- we are a version-behind origin (split-brain
+                # loser racing its own demotion).  Stop acknowledging;
+                # the slot-reconcile path owns the resolution.
+                self.stats["rejected"] += 1
+                self.acked.pop(target, None)
+                if peer.sim.tracing("flower.replica_rejected"):
+                    peer.sim.emit(
+                        "flower.replica_rejected",
+                        origin=peer.address,
+                        target=target,
+                        position=role.position_id,
+                        have=reply.get("have"),
+                        version=role.version,
+                    )
+
+        def on_timeout(target=target) -> None:
+            self.acked.pop(target, None)
+
+        peer.rpc(target, "flower.replica_sync", payload, on_reply, on_timeout)

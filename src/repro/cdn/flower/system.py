@@ -139,3 +139,34 @@ class FlowerSystem(CdnSystem):
             ):
                 total += d.load
         return total
+
+    def replication_stats(self) -> dict:
+        """Aggregate replication activity across the live population.
+
+        All-zero when ``replication_k == 0`` (nothing runs).  Used by the
+        recovery benchmarks and the chaos report's context block.
+        """
+        stats = {
+            "syncs": 0,
+            "fulls": 0,
+            "deltas": 0,
+            "rejected": 0,
+            "replicas_stored": 0,
+            "replica_holders": 0,
+            "provisional_directories": 0,
+        }
+        for peer in self.peers.values():
+            if not peer.alive:
+                continue
+            stored = len(peer.replica_store)
+            if stored:
+                stats["replicas_stored"] += stored
+                stats["replica_holders"] += 1
+            d = peer.directory
+            if d is not None and d.provisional:
+                stats["provisional_directories"] += 1
+            replicator = peer._replicator
+            if replicator is not None:
+                for key in ("syncs", "fulls", "deltas", "rejected"):
+                    stats[key] += replicator.stats[key]
+        return stats

@@ -47,6 +47,8 @@ from repro.sim.trace import TraceEvent
 #: Trace kinds the auditor subscribes to (ledger + context window).
 WATCHED_KINDS = (
     "cdn.query",
+    "chord.join",
+    "chord.shutdown",
     "cdn.query_done",
     "cdn.query_stale",
     "chaos.phase",
@@ -58,6 +60,8 @@ WATCHED_KINDS = (
     "fault.partition_heal",
     "fault.past_due_reschedule",
     "flower.directory_active",
+    "flower.directory_demoted",
+    "flower.directory_provisional",
     "flower.member_expired",
 )
 
@@ -178,6 +182,11 @@ class InvariantAuditor:
         # --- fault context ---
         self._last_disturbance_ms = 0.0
         self._partition_active = False
+        #: last ring-membership change (join/shutdown): a node needs a
+        #: couple of stabilization rounds to be stitched into every
+        #: successor pointer, so convergence is only owed once membership
+        #: has quiesced.
+        self._last_ring_change_ms = float("-inf")
         #: declared fault windows (loss, latency, partitions) from the
         #: config's schedule: convergence is only owed outside them.  The
         #: event subscriptions catch point faults (mass failures) and
@@ -211,6 +220,8 @@ class InvariantAuditor:
             "fault.partition_heal": self._on_partition_edge,
             "fault.mass_failure": self._on_disturbance,
             "flower.directory_active": self._on_directory_active,
+            "chord.join": self._on_ring_change,
+            "chord.shutdown": self._on_ring_change,
         }
         for kind in WATCHED_KINDS:
             specific = handlers.get(kind)
@@ -269,6 +280,9 @@ class InvariantAuditor:
 
     def _on_disturbance(self, event: TraceEvent) -> None:
         self._last_disturbance_ms = event.time
+
+    def _on_ring_change(self, event: TraceEvent) -> None:
+        self._last_ring_change_ms = event.time
 
     def _on_directory_active(self, event: TraceEvent) -> None:
         slot = (
@@ -344,8 +358,17 @@ class InvariantAuditor:
         holders = self._live_slot_holders()
         # --- I2: at most one live directory per slot (strike-based to
         # tolerate the instant of a handoff/claim race mid-settling) ---
+        disturbed = self._partition_active or self._in_disturbance_window(now, 0.0)
+        if disturbed:
+            # A partition legitimately splits a slot: a provisional claimant
+            # inside the cut coexists with the registered holder outside it
+            # until the heal lets the reconcile/demote protocol run.  Reset
+            # the streaks so the strike clock starts at the heal.
+            self._dup_streak.clear()
         for slot, addresses in holders.items():
             if len(addresses) > 1:
+                if disturbed:
+                    continue
                 streak = self._dup_streak.get(slot, 0) + 1
                 self._dup_streak[slot] = streak
                 if streak >= cfg.duplicate_strikes:
@@ -452,9 +475,15 @@ class InvariantAuditor:
         cfg = self.config
         # Convergence is only owed once faults have quiesced for a while.
         settle = 2.0 * cfg.audit_period_ms
+        # A join/shutdown seconds before the audit legitimately leaves the
+        # newcomer outside the predecessor's successor pointer until the
+        # next stabilization round or two; give membership changes that
+        # long before owing a perfect cycle.
+        ring_settle = 2.0 * self.flower.params.dring.maintenance_period_ms
         if (
             self._partition_active
             or now - self._last_disturbance_ms < settle
+            or now - self._last_ring_change_ms < ring_settle
             or self._in_disturbance_window(now, settle)
         ):
             self._ring_strike = 0

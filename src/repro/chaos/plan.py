@@ -21,6 +21,10 @@ Phase menu (weights scale with ``intensity``):
 ``latency_spike``   a multiplicative/additive latency window
 ``bursty_loss``     a Gilbert-Elliott loss window (at most one per plan)
 ``flash_crowd``     a surge of arrivals pinned to one hot website
+``split_brain``     a locality partition with a directory wipe *inside*
+                    the cut: the isolated petals elect provisional
+                    directories that must reconcile with the surviving
+                    ring registrants at the heal (section 5.3)
 ==================  =====================================================
 """
 
@@ -188,6 +192,7 @@ _PHASE_WEIGHTS = (
     ("latency_spike", 1.5),
     ("bursty_loss", 1.0),
     ("flash_crowd", 1.5),
+    ("split_brain", 1.0),
 )
 
 
@@ -300,6 +305,27 @@ def generate_plan(
                     loss_bad=min(1.0, 0.6 + 0.2 * intensity),
                     start_ms=start,
                     end_ms=end,
+                )
+            )
+        elif kind == "split_brain":
+            # The warm-failover torture test: cut one locality off, then
+            # kill (most of) the directories inside the cut while it is
+            # isolated.  The orphaned petals must claim provisional
+            # directories that survive until the heal, then reconcile
+            # (merge + demote) against whatever replacement won the ring
+            # race.  The wipe fraction scales with intensity like every
+            # other mass failure (total wipe from intensity 3 up).
+            locality = rng.randrange(num_localities)
+            heal = start + duration * rng.uniform(0.55, 0.85)
+            faults.append(
+                PartitionSpec(locality=locality, start_ms=start, heal_ms=heal)
+            )
+            faults.append(
+                MassFailureSpec(
+                    at_ms=start + (heal - start) * 0.3,
+                    fraction=min(1.0, 0.7 + 0.1 * intensity),
+                    locality=locality,
+                    directories_only=True,
                 )
             )
         elif kind == "flash_crowd":

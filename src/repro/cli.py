@@ -41,16 +41,28 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="use the paper's full Table 1 parameters (slow)",
     )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=0,
+        metavar="K",
+        help="directory replication degree (0 = off; warm failover, section 5.3)",
+    )
     parser.add_argument("--json", metavar="PATH", help="also write the result as JSON")
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    replication = getattr(args, "replication", 0)
     if args.paper:
         return ExperimentConfig.paper(
-            population=args.population, duration_hours=args.hours
+            population=args.population,
+            duration_hours=args.hours,
+            directory_replication_k=replication,
         )
     return ExperimentConfig.scaled(
-        population=args.population, duration_hours=args.hours
+        population=args.population,
+        duration_hours=args.hours,
+        directory_replication_k=replication,
     )
 
 
@@ -131,6 +143,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 hours=args.hours,
                 paper=args.paper,
                 seed=args.seed,
+                replication=args.replication,
             )
             config = _config_from(namespace)
             result = run_experiment(protocol, config, seed=args.seed)

@@ -54,6 +54,12 @@ class ExperimentConfig:
         rpc_retries: retry budget of directory-facing RPCs and (paired with
             the dring's ``probe_retries``) Chord probes; 0 restores the
             seed's single-shot behaviour.
+        directory_replication_k: warm-failover replication degree -- each
+            directory replicates its versioned state to this many D-ring
+            successors plus one in-petal heir (0 = off, the default, which
+            keeps runs bit-identical to the non-replicated build).
+        directory_replication_anti_entropy: full-snapshot anti-entropy
+            every Nth replica-sync round.
         fault_schedule: tuple of fault specs from :mod:`repro.net.faults`
             (:class:`~repro.net.faults.BurstyLossSpec`,
             :class:`~repro.net.faults.PartitionSpec`,
@@ -89,11 +95,17 @@ class ExperimentConfig:
     peer_cache_capacity: Optional[int] = None
     message_loss_rate: float = 0.0
     rpc_retries: int = 2
+    directory_replication_k: int = 0
+    directory_replication_anti_entropy: int = 4
     fault_schedule: tuple = ()
 
     def __post_init__(self) -> None:
         if self.rpc_retries < 0:
             raise ConfigError("rpc_retries must be >= 0")
+        if self.directory_replication_k < 0:
+            raise ConfigError("directory_replication_k must be >= 0")
+        if self.directory_replication_anti_entropy < 1:
+            raise ConfigError("directory_replication_anti_entropy must be >= 1")
         if not isinstance(self.fault_schedule, tuple):
             # Keep the config hashable (benchmark caches key on it).
             object.__setattr__(self, "fault_schedule", tuple(self.fault_schedule))
@@ -141,6 +153,8 @@ class ExperimentConfig:
             directory_collaboration=self.directory_collaboration,
             cache_capacity=self.peer_cache_capacity,
             rpc_retries=self.rpc_retries,
+            replication_k=self.directory_replication_k,
+            replication_anti_entropy_rounds=self.directory_replication_anti_entropy,
             dring=RingParams(
                 bits=self.chord_bits,
                 successor_list_size=self.chord_successor_list,

@@ -309,3 +309,79 @@ def run_recovery_experiment(
         extra=extra,
     )
     return result, recovery
+
+
+def run_directory_recovery_experiment(
+    protocol: str,
+    config: ExperimentConfig,
+    fault_start_ms: float,
+    fault_end_ms: float,
+    seed: int = 0,
+    window_ms: Optional[float] = None,
+    epsilon: float = 0.05,
+    localities: Optional[list] = None,
+):
+    """Like :func:`run_recovery_experiment`, plus directory-index metrics.
+
+    Attaches a :class:`~repro.metrics.recovery.DirectoryRecoveryTracker`
+    before the run, so the result's ``extra["directory_recovery"]`` block
+    carries time-to-full-index, cold-window miss count and replica
+    staleness at takeover -- the replica-aware metrics the warm-failover
+    A/B (cold ``directory_replication_k = 0`` vs warm ``k >= 1``)
+    compares.  Flower-family protocols only.
+
+    Returns:
+        ``(result, recovery, directory_recovery)`` -- the usual pair plus
+        the tracker's :meth:`~repro.metrics.recovery.DirectoryRecoveryTracker.summary`
+        dict.
+    """
+    from repro.metrics.recovery import (
+        DirectoryRecoveryTracker,
+        RecoveryReport,
+        track_issued_queries,
+    )
+
+    world = build_world(protocol, config, seed)
+    if not isinstance(world.system, FlowerSystem):
+        raise ConfigError(
+            "directory recovery metrics need a Flower-family protocol"
+        )
+    issued = track_issued_queries(world.sim)
+    tracker = DirectoryRecoveryTracker(
+        world, fault_start_ms=fault_start_ms, localities=localities
+    )
+    world.run()
+    system = world.system
+    recovery = RecoveryReport(
+        system.metrics.records,
+        fault_start_ms=fault_start_ms,
+        fault_end_ms=fault_end_ms,
+        horizon_ms=config.duration_ms,
+        window_ms=window_ms if window_ms is not None else minutes(30),
+        issued_times=issued,
+        epsilon=epsilon,
+    )
+    directory_recovery = tracker.summary(system.metrics.records)
+    extra = {
+        "online_peers": system.online_peers,
+        "message_counts": dict(world.network.kind_counts),
+        "drop_counts": dict(world.network.drop_counts),
+        "availability": recovery.availability,
+        "directories": system.directory_count(),
+        "expired_members": system.expired_members,
+        "directory_recovery": directory_recovery,
+        "replication": system.replication_stats(),
+    }
+    result = ExperimentResult.from_metrics(
+        protocol=protocol,
+        seed=seed,
+        population=config.population,
+        duration_hours=config.duration_hours,
+        metrics=system.metrics,
+        events_executed=world.sim.events_executed,
+        messages_sent=world.network.messages_sent,
+        arrivals=world.churn.arrivals,
+        departures=world.churn.departures,
+        extra=extra,
+    )
+    return result, recovery, directory_recovery

@@ -25,12 +25,13 @@ the failure it experienced.
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple, Optional, Sequence
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import CDNError
 from repro.metrics.collector import SERVED_OUTCOMES, QueryRecord
 from repro.metrics.report import render_table
 from repro.metrics.timeseries import RatioPoint, RatioSeries
+from repro.sim.clock import minutes
 
 
 def track_issued_queries(sim) -> List[float]:
@@ -212,3 +213,159 @@ class RecoveryReport:
             f"time to recover (eps={self.epsilon:.0%}): {ttr_text}"
         )
         return table + "\n" + footer
+
+
+class DirectoryRecoveryTracker:
+    """Replica-aware recovery instrumentation for directory faults.
+
+    The query-level :class:`RecoveryReport` sees only the *symptom* of a
+    directory wipe (the hit-ratio dip); this tracker measures the *cause*
+    -- how long the directory index itself stays cold -- so the warm
+    failover of section 5.3 can be compared against the paper's cold
+    replacement directly:
+
+    - **time to full index** -- how long after ``fault_start_ms`` the
+      combined member view of the tracked localities' live directories is
+      back to ``threshold`` x its pre-fault size.  A cold replacement
+      re-learns members one keepalive period at a time; a warm takeover
+      restores the view from a replica in one merge;
+    - **cold-window misses** -- queries from the tracked localities that
+      went to the origin (or failed outright) while the index was below
+      threshold: the user-visible cost of the cold window;
+    - **replica staleness at takeover** -- from the
+      ``flower.replica_adopted`` trace events: how far behind real time
+      the adopted replicas were (0 for replication-off runs, which adopt
+      nothing).
+
+    Attach *before* ``world.run()``; it schedules a baseline snapshot 1 ms
+    before the fault and polls the live index every ``poll_ms`` thereafter.
+    The polling callbacks read state only -- no RNG draws, no emits -- so
+    instrumented runs execute the same protocol trajectory as bare ones.
+    """
+
+    def __init__(
+        self,
+        world,
+        fault_start_ms: float,
+        localities: Optional[Iterable[int]] = None,
+        poll_ms: float = minutes(2),
+        threshold: float = 0.9,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise CDNError("threshold must be in (0, 1]")
+        if poll_ms <= 0:
+            raise CDNError("poll_ms must be positive")
+        self.system = world.system
+        self.sim = world.sim
+        self.horizon_ms = world.config.duration_ms
+        self.fault_start_ms = fault_start_ms
+        self.localities = frozenset(localities) if localities is not None else None
+        self.poll_ms = poll_ms
+        self.threshold = threshold
+        self.baseline: Optional[int] = None
+        self.dipped_at: Optional[float] = None
+        self.recovered_at: Optional[float] = None
+        #: (time, combined member-view size) polls, starting at the baseline.
+        self.index_curve: List[Tuple[float, int]] = []
+        #: payload dicts of every ``flower.replica_adopted`` event.
+        self.adoptions: List[Dict] = []
+        self.sim.trace.subscribe(
+            "flower.replica_adopted",
+            lambda event: self.adoptions.append(dict(event.payload, time=event.time)),
+        )
+        delay = max(0.0, fault_start_ms - 1.0 - self.sim.now)
+        self.sim.schedule(delay, self._capture_baseline)
+
+    # ------------------------------------------------------------- sampling
+    def _tracked_index_size(self) -> int:
+        total = 0
+        for peer in self.system.peers.values():
+            role = getattr(peer, "directory", None)
+            if role is None or not peer.alive:
+                continue
+            if self.localities is not None and role.locality not in self.localities:
+                continue
+            total += role.load
+        return total
+
+    def _capture_baseline(self) -> None:
+        self.baseline = self._tracked_index_size()
+        self.index_curve.append((self.sim.now, self.baseline))
+        self.sim.schedule(self.poll_ms, self._poll)
+
+    def _poll(self) -> None:
+        now = self.sim.now
+        if now > self.horizon_ms:
+            return
+        size = self._tracked_index_size()
+        self.index_curve.append((now, size))
+        floor = self.threshold * (self.baseline or 0)
+        if size < floor:
+            # The fault actually emptied the index; the cold window is
+            # open from this moment until the view climbs back.
+            if self.dipped_at is None:
+                self.dipped_at = now
+        elif self.dipped_at is not None and self.recovered_at is None:
+            self.recovered_at = now
+            return  # stop polling; the curve served its purpose
+        self.sim.schedule(self.poll_ms, self._poll)
+
+    # -------------------------------------------------------------- results
+    def time_to_full_index_ms(self) -> Optional[float]:
+        """Length of the cold window: index dip -> back above threshold.
+
+        ``0.0`` when the index never dropped below threshold at all (a
+        warm takeover can be faster than one poll period); ``None`` when
+        it dipped and never climbed back before the horizon.
+        """
+        if self.dipped_at is None:
+            return 0.0
+        if self.recovered_at is None:
+            return None
+        return max(0.0, self.recovered_at - self.dipped_at)
+
+    def cold_window_misses(self, records: Sequence[QueryRecord]) -> int:
+        """Queries the cold window pushed to the origin (or lost).
+
+        Counts non-hit records from the tracked localities completed
+        between the index dip and its recovery (fault start to horizon
+        when the index never recovered; zero-width when it never dipped).
+        """
+        if self.dipped_at is None:
+            return 0
+        start = self.dipped_at
+        end = self.recovered_at if self.recovered_at is not None else self.horizon_ms
+        count = 0
+        for record in records:
+            if not start <= record.time < end:
+                continue
+            if self.localities is not None and record.locality not in self.localities:
+                continue
+            if not record.is_hit:
+                count += 1
+        return count
+
+    def takeover_staleness_ms(self) -> List[float]:
+        """Replica staleness of every post-fault adoption (ms)."""
+        return [
+            adoption["staleness_ms"]
+            for adoption in self.adoptions
+            if adoption["time"] >= self.fault_start_ms
+        ]
+
+    def summary(self, records: Sequence[QueryRecord]) -> Dict:
+        """One JSON-friendly dict with every tracked metric."""
+        ttfi = self.time_to_full_index_ms()
+        staleness = self.takeover_staleness_ms()
+        return {
+            "baseline_index": self.baseline,
+            "time_to_full_index_ms": ttfi,
+            "cold_window_misses": self.cold_window_misses(records),
+            "replicas_adopted": len(self.adoptions),
+            "takeover_staleness_ms": {
+                "count": len(staleness),
+                "mean": sum(staleness) / len(staleness) if staleness else 0.0,
+                "max": max(staleness) if staleness else 0.0,
+            },
+            "index_curve": [(t, s) for t, s in self.index_curve],
+        }

@@ -87,6 +87,38 @@ def test_intensity_scales_damage():
         assert mass_fraction(harsh) > mass_fraction(mild)
 
 
+def test_split_brain_phase_wipes_directories_inside_the_cut():
+    """Every ``split_brain`` phase pairs one locality partition with a
+    directories-only mass failure *inside* the cut window, in the *same*
+    locality -- the warm-failover torture scenario of section 5.3."""
+    found = 0
+    for seed in range(30):
+        plan = make_plan(chaos_seed=seed, horizon_h=8.0, intensity=2.0)
+        for phase in plan.phases:
+            if phase.kind != "split_brain":
+                continue
+            found += 1
+            cuts = [
+                f
+                for f in plan.faults
+                if isinstance(f, PartitionSpec) and f.start_ms == phase.start_ms
+            ]
+            assert len(cuts) == 1
+            cut = cuts[0]
+            assert cut.heal_ms < phase.end_ms  # heals while auditors watch
+            wipes = [
+                f
+                for f in plan.faults
+                if isinstance(f, MassFailureSpec)
+                and f.directories_only
+                and f.locality == cut.locality
+                and cut.start_ms < f.at_ms < cut.heal_ms
+            ]
+            assert wipes, "the wipe must land inside the partition window"
+            assert all(0.0 < w.fraction <= 1.0 for w in wipes)
+    assert found > 0, "30 seeds at weight 1.0 must produce split_brain phases"
+
+
 def test_generate_plan_validation():
     with pytest.raises(ConfigError):
         make_plan(horizon_h=-1.0)

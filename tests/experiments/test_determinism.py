@@ -53,9 +53,9 @@ def golden_config() -> ExperimentConfig:
     )
 
 
-def run_world(protocol: str, firehose: bool):
+def run_world(protocol: str, firehose: bool, config: ExperimentConfig = None):
     """Run the golden scenario; return (sha_or_None, hit_ratio, events)."""
-    world = build_world(protocol, golden_config(), SEED)
+    world = build_world(protocol, config or golden_config(), SEED)
     digest = None
     if firehose:
         h = hashlib.sha256()
@@ -82,6 +82,25 @@ def test_golden_stream_fingerprint(protocol):
     golden_sha, golden_hit = GOLDEN[protocol]
     assert sha == golden_sha
     assert hit_ratio == golden_hit  # exact: same floats in the same order
+
+
+@pytest.mark.slow
+def test_replication_off_matches_the_golden_stream():
+    """``directory_replication_k = 0`` is the golden build, bit for bit.
+
+    The warm-failover subsystem (section 5.3) keeps a version journal on
+    every directory role unconditionally -- that is pure state and may
+    never perturb the stream -- while all of its network traffic, RNG
+    draws and processes are gated behind ``k > 0``.  Varying the *other*
+    replication knob with ``k = 0`` must therefore reproduce the exact
+    pinned fingerprint; if this test moves, some replication code leaked
+    outside its gate.
+    """
+    config = golden_config().replace(directory_replication_anti_entropy=7)
+    sha, hit_ratio, _ = run_world("flower", firehose=True, config=config)
+    golden_sha, golden_hit = GOLDEN["flower"]
+    assert sha == golden_sha
+    assert hit_ratio == golden_hit
 
 
 @pytest.mark.slow
