@@ -1,0 +1,246 @@
+"""Search availability under directory wipe: the cold-vs-warm A/B.
+
+PR 4/5 made directory *content service* survive a wipe through replicated
+(member-view, index) state; this bench shows the same replication channel
+now carries the keyword-search plane (section 5.4 of docs/PROTOCOLS.md).
+One scenario, two arms:
+
+- **cold (k=0)** -- no replicated posting lists.  A partition cuts
+  locality 0 off the backbone (3h-5h) and every directory inside the cut
+  is wiped at 4h.  Keyword searches issued by locality-0 members have
+  nowhere to go: the wipe window shows a sustained outage ("none"
+  completions).
+- **warm (k=2)** -- posting lists replicate to the member heir plus two
+  D-ring successors.  Through the same wipe, searches fail over to
+  replica holders (staleness-stamped), then to promoted takeover /
+  provisional directories; availability in the wipe window stays >= 99%
+  and no replica-served answer exceeds the declared staleness bound of
+  :func:`repro.cdn.flower.search.staleness_bound_ms`.
+
+CLI front door (CI smoke; exits non-zero when the warm gate fails)::
+
+    PYTHONPATH=src python benchmarks/bench_search_availability.py \
+        --output results/search_availability_warm.json
+
+Always reduced scale: each arm runs a full system end-to-end (see the
+ablations note in bench_ablations.py).
+"""
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+try:
+    from benchmarks.conftest import emit_report
+except ModuleNotFoundError:  # direct script invocation (CI smoke)
+    import pathlib
+
+    _RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+    def emit_report(name: str, text: str) -> None:
+        print()
+        print(text)
+        _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+from repro.cdn.flower.search import SearchAvailabilityTracker, staleness_bound_ms
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_world
+from repro.metrics.report import render_table
+from repro.net.faults import MassFailureSpec, PartitionSpec
+from repro.sim.clock import hours, minutes
+
+POPULATION = 150
+SEED = 17
+WARM_K = 2
+
+PARTITION_START = hours(3.0)
+PARTITION_HEAL = hours(5.0)
+WIPE_AT = PARTITION_START + 0.5 * (PARTITION_HEAL - PARTITION_START)
+#: The measured outage window: wipe -> wipe + 30 min.
+WINDOW_MS = minutes(30.0)
+
+#: The warm acceptance bar inside the wipe window.
+WARM_AVAILABILITY_FLOOR = 0.99
+#: The cold arm must show a real outage (otherwise the A/B proves nothing).
+COLD_AVAILABILITY_CEILING = 0.5
+
+
+def _wipe_config(replication_k: int, population: int = POPULATION) -> ExperimentConfig:
+    """Partition locality 0 (3h-5h), wipe its directories mid-cut, and
+    probe keyword search inside the cut locality throughout.
+
+    The 10-minute keepalive cadence (vs the paper's 1h default) keeps the
+    replica-sync period meaningfully shorter than the mean peer uptime --
+    at a 1h cadence most directories die before their first sync and
+    there is no warm state to measure.
+    """
+    return ExperimentConfig.scaled(
+        population=population,
+        duration_hours=9.0,
+        num_websites=8,
+        num_active_websites=2,
+        num_localities=3,
+        objects_per_website=60,
+        gossip_period_min=10.0,
+        directory_replication_k=replication_k,
+        search_keywords=24,
+        search_probe_period_s=45.0,
+        fault_schedule=(
+            PartitionSpec(
+                locality=0, start_ms=PARTITION_START, heal_ms=PARTITION_HEAL
+            ),
+            MassFailureSpec(
+                at_ms=WIPE_AT,
+                fraction=1.0,
+                locality=0,
+                directories_only=True,
+            ),
+        ),
+    )
+
+
+def run_search_availability_ab(
+    population: int = POPULATION, seed: int = SEED
+) -> Dict:
+    """The cold (k=0) vs warm (k=WARM_K) search-availability comparison."""
+    out: Dict[str, Dict] = {}
+    for label, k in (("cold", 0), ("warm", WARM_K)):
+        config = _wipe_config(k, population=population)
+        world = build_world("flower", config, seed=seed)
+        # Focus the probe workload on the cut locality: that is where the
+        # availability question is decided.
+        world.search_probes.localities = [0]
+        tracker = SearchAvailabilityTracker(world.sim)
+        world.run()
+        window = tracker.window_stats(WIPE_AT, WIPE_AT + WINDOW_MS)
+        full = tracker.window_stats(0.0, world.sim.now)
+        out[label] = {
+            "replication_k": k,
+            "staleness_bound_ms": staleness_bound_ms(world.system.params),
+            "window": window,
+            "full_run": full,
+            "probes_issued": world.search_probes.issued,
+            "replication": world.system.replication_stats(),
+        }
+    return out
+
+
+def _ab_table(ab: Dict, population: int, seed: int) -> str:
+    rows = []
+    for label in ("cold", "warm"):
+        entry = ab[label]
+        window = entry["window"]
+        full = entry["full_run"]
+        rows.append(
+            [
+                f"{label} (k={entry['replication_k']})",
+                f"{window['answered']}/{window['issued']}",
+                f"{window['availability']:.1%}",
+                window["by_source"].get("none", 0),
+                window["replica_served"],
+                f"{full['max_replica_staleness_ms'] / 60_000.0:.1f} min",
+                f"{full['availability']:.1%}",
+            ]
+        )
+    return render_table(
+        [
+            "mode",
+            "answered (wipe+30m)",
+            "avail",
+            "outages",
+            "via replica",
+            "max staleness",
+            "run avail",
+        ],
+        rows,
+        title=(
+            "search availability through a directory wipe "
+            f"(partition 3h-5h + wipe at 4h, P={population}, seed={seed})"
+        ),
+    )
+
+
+def _gates_pass(ab: Dict) -> List[str]:
+    """All failed acceptance gates (empty = the A/B holds)."""
+    failures = []
+    cold, warm = ab["cold"], ab["warm"]
+    if warm["window"]["availability"] < WARM_AVAILABILITY_FLOOR:
+        failures.append(
+            f"warm wipe-window availability "
+            f"{warm['window']['availability']:.3f} < {WARM_AVAILABILITY_FLOOR}"
+        )
+    if cold["window"]["availability"] > COLD_AVAILABILITY_CEILING:
+        failures.append(
+            f"cold wipe-window availability "
+            f"{cold['window']['availability']:.3f} > {COLD_AVAILABILITY_CEILING} "
+            "(no outage to recover from)"
+        )
+    for label in ("cold", "warm"):
+        entry = ab[label]
+        stale = entry["full_run"]["max_replica_staleness_ms"]
+        if stale > entry["staleness_bound_ms"]:
+            failures.append(
+                f"{label}: replica staleness {stale:.0f} ms beyond the "
+                f"declared bound {entry['staleness_bound_ms']:.0f} ms"
+            )
+    if warm["full_run"]["replica_served"] < 1:
+        failures.append("warm arm never served a search from a replica")
+    if cold["full_run"]["replica_served"] != 0:
+        failures.append("cold arm served searches from replicas at k=0")
+    return failures
+
+
+def test_replicated_search_survives_directory_wipe(benchmark):
+    ab = benchmark.pedantic(
+        run_search_availability_ab, rounds=1, iterations=1
+    )
+    emit_report(
+        "search_availability_warm", _ab_table(ab, POPULATION, SEED)
+    )
+    assert _gates_pass(ab) == []
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI front door: run the cold/warm A/B and write the comparison."""
+    parser = argparse.ArgumentParser(
+        description="search availability under directory wipe (cold vs warm)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller population (local smoke)"
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--output", metavar="PATH", help="write the A/B comparison as JSON"
+    )
+    args = parser.parse_args(argv)
+    population = 100 if args.quick else POPULATION
+    ab = run_search_availability_ab(population=population, seed=args.seed)
+    emit_report(
+        "search_availability_warm", _ab_table(ab, population, args.seed)
+    )
+    failures = _gates_pass(ab)
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}")
+    else:
+        print("all search-availability gates hold")
+    if args.output:
+        payload = {
+            "population": population,
+            "seed": args.seed,
+            "warm_availability_floor": WARM_AVAILABILITY_FLOOR,
+            "cold_availability_ceiling": COLD_AVAILABILITY_CEILING,
+            "gates_failed": failures,
+            "ab": ab,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

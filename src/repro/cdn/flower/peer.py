@@ -48,6 +48,7 @@ from repro.cdn.flower.replication import (
     delta_sync_payload,
     full_sync_payload,
 )
+from repro.cdn.flower.search import staleness_bound_ms
 from repro.errors import CDNError
 from repro.dht.node import ChordNode, LookupResult, NodeRef, deliver_route_result, route_step
 from repro.gossip.cyclon import CyclonProtocol
@@ -64,6 +65,11 @@ _MAX_SUMMARY_ATTEMPTS = 2
 #: How many times a new client restarts its D-ring scan before giving up
 #: on the P2P system for this query.
 _MAX_SCAN_TRIES = 2
+
+#: How many gossip-view petal-mates extend the search-failover chain
+#: beyond the hinted replica holders (section 5.4): they catch promoted
+#: heirs / provisional claimants a stale hint cannot name.
+_SEARCH_VIEW_CANDIDATES = 4
 
 
 @dataclass
@@ -132,6 +138,13 @@ class FlowerPeer(BasePeer):
         self._replicator: Optional[DirectoryReplicator] = None
         self._reconciling = False
         self._last_announce_ms = float("-inf")
+        # --- scoped search failover (section 5.4; needs a search engine) ---
+        # Replica holders of our directory slot, piggybacked on keepalive /
+        # push / registration replies; consulted when a search cannot be
+        # answered by the directory itself.
+        self._search_replicas: List[Address] = []
+        self._search_members: List[Address] = []
+        self._search_position: Optional[int] = None
         # --- delivery fast path ---
         # Pre-register dispatch wrappers so ``Network._deliver`` hits the
         # handler cache directly and skips the ``on_message`` frame for the
@@ -251,6 +264,9 @@ class FlowerPeer(BasePeer):
         self._dir_strikes = 0
         self._reprobe_pending = False
         self._pending_pushes.clear()
+        self._search_replicas = []
+        self._search_members = []
+        self._search_position = None
 
     @property
     def is_directory(self) -> bool:
@@ -609,6 +625,7 @@ class FlowerPeer(BasePeer):
         self.dir_info = DirInfo(position, address, age=0)
         self._dir_strikes = 0
         self._pending_pushes.clear()
+        self._harvest_search_replicas(reply)
         for contact_address in reply.get("view_sample", []):
             if contact_address != self.address:
                 self.view.add(Contact(contact_address, age=0))
@@ -720,6 +737,7 @@ class FlowerPeer(BasePeer):
         def on_reply(payload: Dict[str, Any]) -> None:
             if payload.get("status") == "ok":
                 info.age = 0
+                self._harvest_search_replicas(payload)
                 self._note_directory_alive(info)
             else:
                 self._on_directory_failure(info)
@@ -748,6 +766,7 @@ class FlowerPeer(BasePeer):
                 # This push carried the full key list, superseding anything
                 # queued while the directory was suspect.
                 self._pending_pushes.clear()
+                self._harvest_search_replicas(payload)
                 self._note_directory_alive(info)
             else:
                 self._on_directory_failure(info)
@@ -821,6 +840,7 @@ class FlowerPeer(BasePeer):
         def on_reply(payload: Dict[str, Any]) -> None:
             if payload.get("status") == "ok":
                 info.age = 0
+                self._harvest_search_replicas(payload)
                 self._note_directory_alive(info)
             else:
                 self._on_directory_failure(info)
@@ -927,6 +947,7 @@ class FlowerPeer(BasePeer):
         """Try to join D-ring at *position*; only the first joiner wins."""
         self._recovering = True
         role = DirectoryRole(self.address, website, locality, instance, position)
+        self._attach_search(role)
         role.chord = ChordNode(self, self.system.ring, position)
         if snapshot is not None:
             role.adopt_snapshot(snapshot)
@@ -976,6 +997,7 @@ class FlowerPeer(BasePeer):
         if not self.alive:
             role.chord.shutdown()
             return
+        self._attach_search(role)
         self.directory = role
         self.dir_info = None
         # Directory peers leave the content-peer gossip/keepalive loops;
@@ -1045,6 +1067,10 @@ class FlowerPeer(BasePeer):
         role = self.directory
         if role is None:
             return
+        # Make sure the handoff carries the posting lists even when the
+        # engine was installed after this role went live (satellite of
+        # section 5.4: the heir must not rebuild the inverted index).
+        self._attach_search(role)
         heir: Optional[Address] = None
         acked_base: Optional[int] = None
         replicator = self._replicator
@@ -1097,6 +1123,16 @@ class FlowerPeer(BasePeer):
     @property
     def _replication_on(self) -> bool:
         return self.system.params.replication_k > 0
+
+    def _attach_search(self, role: Optional[DirectoryRole]) -> None:
+        """Attach the system's keyword space to *role* (idempotent no-op
+        when no search engine is configured).  Called lazily from every
+        path that reads or ships posting lists, because tests and
+        late-configured runs install ``system.search_engine`` after seed
+        directories already exist."""
+        engine = self.system.search_engine
+        if engine is not None and role is not None:
+            role.attach_search(engine.space)
 
     def _attach_replicator(self, role: DirectoryRole) -> None:
         """(Re)start the periodic replica-sync driver for *role*."""
@@ -1221,6 +1257,7 @@ class FlowerPeer(BasePeer):
         role.provisional = True
         role.chord = None
         self.directory = role
+        self._attach_search(role)
         self.dir_info = None
         self._dir_strikes = 0
         self._reprobe_pending = False
@@ -1666,11 +1703,15 @@ class FlowerPeer(BasePeer):
                 exclude=set(sample) | {joiner},
             )
             sample.extend(contact.address for contact in legacy)
-        return {
+        reply = {
             "dir_position": d.position_id,
             "dir_address": self.address,
             "view_sample": [a for a in sample if a != joiner],
         }
+        hint = self._search_replica_hint(d)
+        if hint is not None:
+            reply["search_replicas"] = hint
+        return reply
 
     def _next_instance_address(self, d: DirectoryRole) -> Optional[Address]:
         """Address of d(ws, loc, instance+1), if it exists.
@@ -1808,7 +1849,11 @@ class FlowerPeer(BasePeer):
             d.update_member_keys(message.src, keys)
         else:
             d.add_member(message.src, keys)
-        return {"status": "ok"}
+        reply: Dict[str, Any] = {"status": "ok"}
+        hint = self._search_replica_hint(d)
+        if hint is not None:
+            reply["search_replicas"] = hint
+        return reply
 
     def handle_flower_keepalive(self, message: Message) -> Dict[str, Any]:
         """Refresh (or re-admit) a member on keepalive (section 5.1)."""
@@ -1819,21 +1864,116 @@ class FlowerPeer(BasePeer):
             d.touch_member(message.src)
         else:
             d.add_member(message.src)
-        return {"status": "ok"}
+        reply: Dict[str, Any] = {"status": "ok"}
+        hint = self._search_replica_hint(d)
+        if hint is not None:
+            reply["search_replicas"] = hint
+        return reply
 
     # =====================================================================
     # Keyword search extension (paper section 7 future work; optional)
     # =====================================================================
+    @property
+    def search_probe_target(self) -> bool:
+        """Eligible for a search probe: in a petal now, or orphaned from
+        one (its directory declared failed) -- orphans must keep counting
+        toward an outage instead of silently leaving the denominator."""
+        return self.alive and (
+            self.directory is not None
+            or self.dir_info is not None
+            or self._search_position is not None
+        )
+
+    def _search_replica_hint(self, d: DirectoryRole) -> Optional[Dict[str, Any]]:
+        """Failover plan piggybacked on directory replies (section 5.4):
+        the slot position plus the replica holders currently synced.  None
+        while no search engine runs, so plain builds ship nothing."""
+        if self.system.search_engine is None:
+            return None
+        replicator = self._replicator
+        targets: List[Address] = []
+        if replicator is not None and replicator.role is d:
+            # Only holders that acknowledged a sync: an intended target
+            # that never acked has nothing to serve, and pointing peers
+            # at it would turn the failover into guaranteed misses.
+            acked = replicator.acked
+            targets = [a for a in replicator.targets() if a in acked]
+        # A small member sample rides along as a last-resort chain: the
+        # smallest addresses include the member heir, so even a peer with
+        # a stale replica hint and an empty gossip view can still reach
+        # the one petal-mate guaranteed to be a replica target.
+        members = sorted(d.members.addresses())[:_SEARCH_VIEW_CANDIDATES]
+        return {
+            "position": d.position_id,
+            "replicas": targets,
+            "members": members,
+        }
+
+    def _harvest_search_replicas(self, payload: Dict[str, Any]) -> None:
+        """Remember the failover plan carried by a directory reply."""
+        hint = payload.get("search_replicas")
+        if hint is not None:
+            self._search_position = hint["position"]
+            self._search_replicas = [
+                address for address in hint["replicas"] if address != self.address
+            ]
+            self._search_members = [
+                address
+                for address in hint.get("members", ())
+                if address != self.address
+            ]
+
     def handle_flower_search(self, message: Message) -> Dict[str, Any]:
         """Answer a petal keyword search from the directory-index."""
         engine = self.system.search_engine
         d = self.directory
         if engine is None or d is None:
             return {"status": "not_directory"}
+        self._attach_search(d)
         matches = engine.search_index(
             d.index, self.store.keys(), self.address, message.payload["keyword"]
         )
-        return {"status": "ok", "matches": [(tuple(k), a) for k, a in matches]}
+        reply: Dict[str, Any] = {
+            "status": "ok",
+            "matches": [(tuple(k), a) for k, a in matches],
+        }
+        hint = self._search_replica_hint(d)
+        if hint is not None:
+            reply["search_replicas"] = hint
+        return reply
+
+    def handle_flower_search_replica(self, message: Message) -> Dict[str, Any]:
+        """Scoped failover search (section 5.4): answer for a directory
+        slot we replicate -- or serve authoritatively when we turned out
+        to be the slot's (possibly provisional) directory ourselves."""
+        engine = self.system.search_engine
+        if engine is None or not self.alive:
+            return {"status": "off"}
+        payload = message.payload
+        position = payload["position"]
+        keyword = payload["keyword"]
+        d = self.directory
+        if d is not None and d.position_id == position:
+            self._attach_search(d)
+            matches = engine.search_index(
+                d.index, self.store.keys(), self.address, keyword
+            )
+            return {
+                "status": "ok",
+                "source": "takeover",
+                "staleness_ms": 0.0,
+                "matches": [(tuple(k), a) for k, a in matches],
+            }
+        record = self.replica_store.get(position)
+        if record is None:
+            return {"status": "no_replica"}
+        matches = record.search_matches(engine.space, keyword, engine.max_results)
+        return {
+            "status": "ok",
+            "source": "replica",
+            "staleness_ms": self.sim.now - record.updated_at,
+            "matches": [(k, a) for k, a in matches],
+        }
 
     def search(self, keyword: str, on_results) -> None:
         """Find petal members holding objects about *keyword*.
@@ -1841,33 +1981,174 @@ class FlowerPeer(BasePeer):
         Requires ``system.search_engine`` to be set (see
         :mod:`repro.cdn.flower.search`).  A directory peer answers from its
         own index; a content peer asks its directory; an unregistered peer
-        gets no results.
+        gets no results.  When the directory is suspect, times out or
+        denies, the query fails over to the slot's replica holders (the
+        member heir and the k ring successors learned from earlier
+        replies), accepting replica answers only within the declared
+        staleness bound.  Every completion is accounted through one
+        ``flower.search_done`` event stamped with its source.
         """
         engine = self.system.search_engine
         if engine is None:
             raise CDNError("keyword search requires system.search_engine")
-        if self.directory is not None:
-            on_results(
-                engine.search_index(
-                    self.directory.index, self.store.keys(), self.address, keyword
-                )
+        d = self.directory
+        if d is not None:
+            self._attach_search(d)
+            matches = engine.search_index(
+                d.index, self.store.keys(), self.address, keyword
             )
+            self._finish_search(keyword, matches, "local", 0.0, on_results)
             return
         info = self.dir_info
         if info is None:
-            on_results([])
+            if self._search_position is None:
+                self._finish_search(keyword, [], "unregistered", 0.0, on_results)
+            else:
+                # Orphaned mid-failure: the directory was declared dead and
+                # no replacement adopted yet -- go straight to replicas.
+                self._search_failover(
+                    keyword, self._search_failover_plan(), on_results
+                )
+            return
+        if self._dir_suspect:
+            self._search_failover(keyword, self._search_failover_plan(), on_results)
             return
 
         def on_reply(payload: Dict[str, Any]) -> None:
-            if payload.get("status") != "ok":
-                on_results([])
+            if not self.alive:
                 return
-            on_results([(tuple(key), address) for key, address in payload["matches"]])
+            if payload.get("status") != "ok":
+                self._search_failover(
+                    keyword, self._search_failover_plan(), on_results
+                )
+                return
+            info.age = 0
+            self._harvest_search_replicas(payload)
+            self._note_directory_alive(info)
+            self._finish_search(
+                keyword,
+                [(tuple(key), address) for key, address in payload["matches"]],
+                "directory",
+                0.0,
+                on_results,
+            )
 
-        self.rpc(
-            info.address,
-            "flower.search",
-            {"keyword": keyword},
-            on_reply,
-            on_timeout=lambda: on_results([]),
+        def on_give_up() -> None:
+            if not self.alive:
+                return
+            self._on_directory_strike(info)
+            self._search_failover(keyword, self._search_failover_plan(), on_results)
+
+        self._directory_rpc(
+            info, "flower.search", {"keyword": keyword}, on_reply, on_give_up
         )
+
+    def _search_failover_plan(self) -> List[Address]:
+        """Candidate chain for a failed-over search: the hinted replica
+        holders (member heir first, then ring successors), extended with
+        our freshest petal-mates from the gossip view.  The view catches
+        the cases a stale hint cannot: the heir may have died since the
+        hint was harvested, but a petal-mate that since promoted (warm
+        takeover or provisional claim) answers the slot directly."""
+        plan = list(self._search_replicas)
+        seen = set(plan)
+        seen.add(self.address)
+        for address in self._search_members:
+            if address not in seen:
+                seen.add(address)
+                plan.append(address)
+        contacts = sorted(
+            self.view.contacts(), key=lambda c: (c.age, c.address)
+        )
+        extras = 0
+        for contact in contacts:
+            if extras >= _SEARCH_VIEW_CANDIDATES:
+                break
+            if contact.address in seen:
+                continue
+            seen.add(contact.address)
+            plan.append(contact.address)
+            extras += 1
+        return plan
+
+    def _search_failover(
+        self, keyword: str, candidates: List[Address], on_results
+    ) -> None:
+        """Walk the known replica holders of our slot (member heir first,
+        then ring successors) until one answers within the staleness
+        bound; our own replica store is consulted first (the heir itself
+        pays zero round trips)."""
+        engine = self.system.search_engine
+        position = self._search_position
+        if engine is None or position is None:
+            self._finish_search(keyword, [], "none", 0.0, on_results)
+            return
+        bound = staleness_bound_ms(self.system.params)
+        record = self.replica_store.get(position)
+        if record is not None:
+            staleness = self.sim.now - record.updated_at
+            if staleness <= bound:
+                matches = record.search_matches(
+                    engine.space, keyword, engine.max_results
+                )
+                self._finish_search(
+                    keyword, matches, "replica", staleness, on_results
+                )
+                return
+        while candidates and candidates[0] == self.address:
+            candidates = candidates[1:]
+        if not candidates:
+            self._finish_search(keyword, [], "none", 0.0, on_results)
+            return
+        target, rest = candidates[0], candidates[1:]
+        params = self.system.params
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if not self.alive:
+                return
+            if payload.get("status") == "ok":
+                staleness = float(payload.get("staleness_ms", 0.0))
+                if staleness <= bound:
+                    self._finish_search(
+                        keyword,
+                        [(tuple(key), address) for key, address in payload["matches"]],
+                        payload.get("source", "replica"),
+                        staleness,
+                        on_results,
+                    )
+                    return
+            self._search_failover(keyword, rest, on_results)
+
+        self.retrying_rpc(
+            target,
+            "flower.search_replica",
+            {"position": position, "keyword": keyword},
+            on_reply=on_reply,
+            on_give_up=lambda: self._search_failover(keyword, rest, on_results),
+            retries=params.rpc_retries,
+            backoff_ms=params.rpc_backoff_ms,
+        )
+
+    def _finish_search(
+        self,
+        keyword: str,
+        matches: List,
+        source: str,
+        staleness_ms: float,
+        on_results,
+    ) -> None:
+        """Deliver results and account the completion (one event per
+        search, stamped with how -- and how stale -- it was answered)."""
+        sim = self.sim
+        if sim.tracing("flower.search_done"):
+            sim.emit(
+                "flower.search_done",
+                peer=self.address,
+                website=self.website,
+                locality=self.locality,
+                keyword=keyword,
+                matches=len(matches),
+                source=source,
+                staleness_ms=staleness_ms,
+            )
+        on_results(matches)

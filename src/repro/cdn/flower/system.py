@@ -154,7 +154,15 @@ class FlowerSystem(CdnSystem):
             "replicas_stored": 0,
             "replica_holders": 0,
             "provisional_directories": 0,
+            # Search-index replication (section 5.4): live per-directory
+            # posting state plus the replica-side copies and their age.
+            "search_directories": 0,
+            "search_postings": 0,
+            "search_replicas": 0,
+            "search_replica_staleness_ms": 0.0,
+            "search_index": {},
         }
+        now = self.sim.now
         for peer in self.peers.values():
             if not peer.alive:
                 continue
@@ -162,9 +170,24 @@ class FlowerSystem(CdnSystem):
             if stored:
                 stats["replicas_stored"] += stored
                 stats["replica_holders"] += 1
+            for record in peer.replica_store.records():
+                if record.postings:
+                    stats["search_replicas"] += 1
+                    staleness = now - record.updated_at
+                    if staleness > stats["search_replica_staleness_ms"]:
+                        stats["search_replica_staleness_ms"] = staleness
             d = peer.directory
-            if d is not None and d.provisional:
-                stats["provisional_directories"] += 1
+            if d is not None:
+                if d.provisional:
+                    stats["provisional_directories"] += 1
+                if d.search_space is not None:
+                    stats["search_directories"] += 1
+                    stats["search_postings"] += len(d.postings)
+                    stats["search_index"][d.position_id] = {
+                        "version": d.search_version,
+                        "postings": len(d.postings),
+                        "provisional": d.provisional,
+                    }
             replicator = peer._replicator
             if replicator is not None:
                 for key in ("syncs", "fulls", "deltas", "rejected"):

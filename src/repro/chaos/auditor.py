@@ -20,6 +20,12 @@ I5 **ring convergence** -- after faults quiesce, the D-ring successor
 I6 **view hygiene** -- gossip partial views never contain the owner
    itself, and dead contacts are evicted within a bound derived from the
    gossip period.
+I7 **search availability** -- with replicated posting lists
+   (``replication_k > 0``) keyword searches keep getting answered through
+   directory wipes and partitions (no petal accumulates a streak of
+   unanswered searches), and replica-served results never exceed the
+   declared staleness bound of
+   :func:`repro.cdn.flower.search.staleness_bound_ms`.
 
 Zero cost when absent: all observation happens through subscriber-gated
 trace kinds plus an explicitly scheduled audit tick -- a run without an
@@ -40,6 +46,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.cdn.flower.search import staleness_bound_ms
 from repro.cdn.flower.system import FlowerSystem
 from repro.sim.clock import minutes
 from repro.sim.trace import TraceEvent
@@ -63,6 +70,7 @@ WATCHED_KINDS = (
     "flower.directory_demoted",
     "flower.directory_provisional",
     "flower.member_expired",
+    "flower.search_done",
 )
 
 
@@ -83,6 +91,7 @@ class AuditorConfig:
     view_staleness_factor: float = 12.0
     ring_strikes: int = 3
     duplicate_strikes: int = 2
+    search_strikes: int = 3
     trace_window: int = 256
     max_violations: int = 25
 
@@ -163,6 +172,10 @@ class InvariantAuditor:
         self.reacquire_bound_ms = cfg.reacquire_bound_ms + 2.0 * (
             params.keepalive_period_ms + params.query_interval_ms
         )
+        #: I7: declared replica-staleness bound of search results (search
+        #: module owns the formula; the client enforces it at failover
+        #: time, the auditor re-checks every served result against it).
+        self.search_staleness_bound_ms = staleness_bound_ms(params)
         self.violations: List[Violation] = []
         self.stats: Dict[str, int] = {
             "audits": 0,
@@ -170,6 +183,10 @@ class InvariantAuditor:
             "queries_closed": 0,
             "stale_completions": 0,
             "reacquired_slots": 0,
+            "searches": 0,
+            "searches_unanswered": 0,
+            "search_replica_served": 0,
+            "search_stale_max_ms": 0,
         }
         #: reacquire durations (ms) of observed directory slot recoveries.
         self.reacquire_times_ms: List[float] = []
@@ -202,6 +219,8 @@ class InvariantAuditor:
         self._first_seen: Dict[tuple, float] = {}
         self._vacant_since: Dict[tuple, float] = {}
         self._dup_streak: Dict[tuple, int] = {}
+        #: I7: consecutive unanswered searches per petal (website, locality).
+        self._search_streak: Dict[tuple, int] = {}
         self._ring_strike = 0
         self._reported: Set[tuple] = set()
         self._finalized = False
@@ -220,6 +239,7 @@ class InvariantAuditor:
             "fault.partition_heal": self._on_partition_edge,
             "fault.mass_failure": self._on_disturbance,
             "flower.directory_active": self._on_directory_active,
+            "flower.search_done": self._on_search_done,
             "chord.join": self._on_ring_change,
             "chord.shutdown": self._on_ring_change,
         }
@@ -294,6 +314,65 @@ class InvariantAuditor:
         if since is not None:
             self.stats["reacquired_slots"] += 1
             self.reacquire_times_ms.append(event.time - since)
+
+    # ------------------------------------------------- I7: search plane
+    def _on_search_done(self, event: TraceEvent) -> None:
+        payload = event.payload
+        source = payload["source"]
+        if source == "unregistered":
+            return  # never joined a petal: no availability owed yet
+        self.stats["searches"] += 1
+        petal = (payload["website"], payload["locality"])
+        staleness = float(payload.get("staleness_ms", 0.0))
+        if source == "replica":
+            self.stats["search_replica_served"] += 1
+            rounded = int(round(staleness))
+            if rounded > self.stats["search_stale_max_ms"]:
+                self.stats["search_stale_max_ms"] = rounded
+            if (
+                staleness > self.search_staleness_bound_ms
+                and ("search_stale", petal) not in self._reported
+            ):
+                # Holds at every k: the failover client must refuse
+                # replica answers older than the declared bound.
+                self._reported.add(("search_stale", petal))
+                self._violation(
+                    "search_stale_beyond_bound",
+                    subject=petal,
+                    details={
+                        "peer": payload["peer"],
+                        "keyword": payload.get("keyword"),
+                        "staleness_ms": staleness,
+                        "bound_ms": self.search_staleness_bound_ms,
+                    },
+                )
+        if source != "none":
+            self._search_streak.pop(petal, None)
+            return
+        self.stats["searches_unanswered"] += 1
+        if self.system.params.replication_k <= 0:
+            # Without replicas an outage through a directory wipe is the
+            # expected baseline (the cold arm of the availability A/B),
+            # not a violation.
+            return
+        streak = self._search_streak.get(petal, 0) + 1
+        self._search_streak[petal] = streak
+        strikes = self.config.search_strikes
+        if self._partition_active or self._in_disturbance_window(event.time, 0.0):
+            # Inside a declared disturbance the first probe or two may
+            # race the takeover; only a sustained streak is a violation.
+            strikes *= 2
+        if streak >= strikes and ("search", petal) not in self._reported:
+            self._reported.add(("search", petal))
+            self._violation(
+                "search_unavailable",
+                subject=petal,
+                details={
+                    "consecutive_unanswered": streak,
+                    "strikes": strikes,
+                    "replication_k": self.system.params.replication_k,
+                },
+            )
 
     # ----------------------------------------------------------- audit tick
     def _audit_tick(self) -> None:

@@ -107,10 +107,19 @@ class ChaosRunReport:
 
     def summary_line(self) -> str:
         status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        search = ""
+        issued = self.stats.get("searches", 0)
+        if issued:
+            answered = issued - self.stats.get("searches_unanswered", 0)
+            search = (
+                f"search={answered}/{issued} "
+                f"stale_max={self.stats.get('search_stale_max_ms', 0)}ms "
+            )
         return (
             f"[{self.protocol}] plan={self.plan.name} seed={self.seed} "
             f"audits={self.stats.get('audits', 0)} "
             f"queries={self.stats.get('queries_opened', 0)} "
+            f"{search}"
             f"hit_ratio={self.result.hit_ratio:.4f} -> {status}"
         )
 

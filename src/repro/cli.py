@@ -197,6 +197,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 0 if report.ok else 1
 
     config = _config_from(args)
+    if getattr(args, "search", False):
+        # Search-under-churn lanes: keyword engine + synthetic probes so
+        # the auditor's I7 (search availability / staleness) has traffic
+        # to judge.  Off by default: search changes the trace stream.
+        config = config.replace(search_keywords=24, search_probe_period_s=45.0)
     exit_code = 0
     payload = {}
     for offset in range(args.plans):
@@ -286,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.add_argument(
         "--halt", action="store_true", help="stop at the first violation"
+    )
+    chaos_parser.add_argument(
+        "--search",
+        action="store_true",
+        help="enable keyword search + probe workload (audits invariant I7)",
     )
     _add_common_arguments(chaos_parser)
     chaos_parser.set_defaults(handler=cmd_chaos)

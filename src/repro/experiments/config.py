@@ -60,6 +60,14 @@ class ExperimentConfig:
             keeps runs bit-identical to the non-replicated build).
         directory_replication_anti_entropy: full-snapshot anti-entropy
             every Nth replica-sync round.
+        search_keywords: keyword-space size of the optional search
+            extension (paper section 7); > 0 installs a
+            :class:`~repro.cdn.flower.search.KeywordSearchEngine` on
+            Flower-family systems (0 = off, the default -- required for
+            golden-stream compatibility).
+        search_probe_period_s: period of the synthetic search-probe
+            workload driving the availability experiments (0 = no
+            probes; needs ``search_keywords > 0``).
         fault_schedule: tuple of fault specs from :mod:`repro.net.faults`
             (:class:`~repro.net.faults.BurstyLossSpec`,
             :class:`~repro.net.faults.PartitionSpec`,
@@ -97,6 +105,8 @@ class ExperimentConfig:
     rpc_retries: int = 2
     directory_replication_k: int = 0
     directory_replication_anti_entropy: int = 4
+    search_keywords: int = 0
+    search_probe_period_s: float = 0.0
     fault_schedule: tuple = ()
 
     def __post_init__(self) -> None:
@@ -106,6 +116,12 @@ class ExperimentConfig:
             raise ConfigError("directory_replication_k must be >= 0")
         if self.directory_replication_anti_entropy < 1:
             raise ConfigError("directory_replication_anti_entropy must be >= 1")
+        if self.search_keywords < 0:
+            raise ConfigError("search_keywords must be >= 0")
+        if self.search_probe_period_s < 0:
+            raise ConfigError("search_probe_period_s must be >= 0")
+        if self.search_probe_period_s > 0 and self.search_keywords < 1:
+            raise ConfigError("search probes need search_keywords >= 1")
         if not isinstance(self.fault_schedule, tuple):
             # Keep the config hashable (benchmark caches key on it).
             object.__setattr__(self, "fault_schedule", tuple(self.fault_schedule))

@@ -16,6 +16,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cdn.base import CdnSystem
+from repro.cdn.flower.search import (
+    KeywordSearchEngine,
+    KeywordSpace,
+    SearchProbeWorkload,
+)
 from repro.cdn.flower.system import FlowerSystem
 from repro.cdn.petalup.system import PetalUpSystem
 from repro.cdn.squirrel.homestore import HomeStoreSquirrelSystem
@@ -27,7 +32,7 @@ from repro.net.faults import FaultController
 from repro.net.landmarks import LandmarkBinner
 from repro.net.topology import ClusteredTopology, Topology, UniformRandomTopology
 from repro.net.transport import Network, NetworkNode
-from repro.sim.clock import minutes
+from repro.sim.clock import minutes, seconds
 from repro.sim.engine import Simulator
 from repro.workload.catalog import Catalog
 from repro.workload.churn import ChurnModel
@@ -54,6 +59,7 @@ class World:
     churn: ChurnModel
     config: ExperimentConfig
     faults: Optional[FaultController] = None
+    search_probes: Optional[SearchProbeWorkload] = None
 
     def run(self, until_ms: Optional[float] = None) -> None:
         """Advance the simulation (defaults to the configured horizon)."""
@@ -129,6 +135,22 @@ def build_world(
     system = system_cls(
         sim, network, binner, catalog, config.protocol_params()
     )
+    search_probes: Optional[SearchProbeWorkload] = None
+    if config.search_keywords > 0 and isinstance(system, FlowerSystem):
+        # Keyword-search extension (section 5.4).  Installed before the
+        # initial population so seed directories attach their posting
+        # lists on activation; the probe workload draws from a dedicated
+        # stream and so never perturbs the protocol's own sequences.
+        system.search_engine = KeywordSearchEngine(
+            KeywordSpace(num_keywords=config.search_keywords)
+        )
+        if config.search_probe_period_s > 0:
+            search_probes = SearchProbeWorkload(
+                sim,
+                system,
+                period_ms=seconds(config.search_probe_period_s),
+                rng=sim.rng("search_probes"),
+            )
     system.setup_initial_population()
     churn = ChurnModel(
         sim,
@@ -161,6 +183,7 @@ def build_world(
         churn=churn,
         config=config,
         faults=faults,
+        search_probes=search_probes,
     )
 
 

@@ -49,6 +49,51 @@ class TestGracefulLeave:
         assert role.has_member(other.address)
         assert other_key in set(role.member_keys.get(other.address, ()))
 
+    def test_handoff_ships_posting_lists_without_rebuild(self, flower_world):
+        """Section 5.4: the heir adopts the predecessor's keyword posting
+        lists from the handoff snapshot instead of re-deriving them key by
+        key -- and answers searches immediately after promotion."""
+        from repro.cdn.flower.search import KeywordSearchEngine, KeywordSpace
+
+        world = flower_world
+        engine = KeywordSearchEngine(KeywordSpace(num_keywords=8))
+        world.system.search_engine = engine
+        first, old_dir = _register_member(world, key=(0, 5))
+        second, _ = _register_member(
+            world, locality=first.locality, key=(0, 9)
+        )
+        old_role = old_dir.directory
+        old_dir._attach_search(old_role)
+        assert old_role.postings, "predecessor has no posting lists"
+        snapshot = old_role.snapshot()
+        assert snapshot["postings"], "handoff snapshot must carry postings"
+
+        derivations = []
+        real_keywords_of = engine.space.keywords_of
+        engine.space.keywords_of = lambda key: (
+            derivations.append(key) or real_keywords_of(key)
+        )
+        try:
+            old_dir.leave_directory_gracefully()
+            world.run(seconds(10))  # handoff message delivers
+        finally:
+            engine.space.keywords_of = real_keywords_of
+
+        new_dir = world.directory_of(0, first.locality)
+        assert new_dir is not None and new_dir.address != old_dir.address
+        role = new_dir.directory
+        # Shipped, not rebuilt: adopting the snapshot derived nothing.
+        assert derivations == []
+        # The surviving member's keys are searchable through the heir.
+        other = second if new_dir.address == first.address else first
+        other_key = (0, 9) if other is second else (0, 5)
+        for keyword in real_keywords_of(other_key):
+            assert other_key in role.postings.get(keyword, set())
+        keyword = next(iter(real_keywords_of(other_key)))
+        results = []
+        new_dir.search(keyword, results.append)  # local: zero round trips
+        assert any(key == other_key for key, __ in results[0])
+
     def test_leave_without_members_just_vacates(self, flower_world):
         world = flower_world
         directory = world.directory_of(1, 1)

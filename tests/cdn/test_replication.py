@@ -332,3 +332,168 @@ class TestSplitBrainReconciliation:
             for e in demoted
         )
         assert registered.directory.has_member(client.address)
+
+
+# ---------------------------------------------------------------------------
+# Replicated search: posting lists over the sync channel (section 5.4)
+# ---------------------------------------------------------------------------
+
+class TestPostingReplication:
+    def _searchable_role(self):
+        from repro.cdn.flower.search import KeywordSpace
+
+        space = KeywordSpace(num_keywords=8)
+        role = make_role()
+        role.attach_search(space)
+        role.add_member(10, [(0, 5)])
+        role.add_member(11, [(0, 9)])
+        return role, space
+
+    def test_full_payload_carries_postings(self):
+        role, space = self._searchable_role()
+        payload = full_sync_payload(role, role.owner_address)
+        shipped = {kw: {tuple(k) for k in keys} for kw, keys in payload["postings"]}
+        for keyword in space.keywords_of((0, 5)):
+            assert (0, 5) in shipped[keyword]
+        assert payload["postings_removed"] == []
+
+    def test_delta_ships_only_changed_keywords(self):
+        role, space = self._searchable_role()
+        base = role.version
+        role.update_member_keys(10, [(0, 5), (0, 7)])
+        payload = delta_sync_payload(role, role.owner_address, base)
+        changed = {kw for kw, __ in payload["postings"]}
+        assert changed == set(space.keywords_of((0, 7)))
+
+    def test_removal_tombstones_empty_posting_lists(self):
+        role, space = self._searchable_role()
+        base = role.version
+        role.remove_member(11)
+        payload = delta_sync_payload(role, role.owner_address, base)
+        removed = set(payload["postings_removed"])
+        survivors = space.keywords_of((0, 5))
+        for keyword in space.keywords_of((0, 9)):
+            if keyword not in survivors:
+                assert keyword in removed
+                assert keyword not in role.postings
+
+    def test_replica_record_answers_searches(self):
+        from repro.cdn.flower.search import KeywordSpace
+
+        role, space = self._searchable_role()
+        store = ReplicaStore()
+        ack = store.accept(full_sync_payload(role, role.owner_address), now=0.0)
+        assert ack["status"] == "ok"
+        record = store.get(role.position_id)
+        keyword = next(iter(space.keywords_of((0, 5))))
+        matches = record.search_matches(KeywordSpace(num_keywords=8), keyword, 20)
+        assert ((0, 5), 10) in matches
+
+    def test_delta_updates_replica_postings(self):
+        role, space = self._searchable_role()
+        store = ReplicaStore()
+        store.accept(full_sync_payload(role, role.owner_address), now=0.0)
+        base = role.version
+        role.update_member_keys(10, [(0, 5), (0, 7)])
+        ack = store.accept(
+            delta_sync_payload(role, role.owner_address, base), now=1.0
+        )
+        assert ack["status"] == "ok"
+        record = store.get(role.position_id)
+        keyword = next(iter(space.keywords_of((0, 7))))
+        assert (0, 7) in record.postings[keyword]
+
+    def test_search_off_roles_ship_no_postings(self):
+        role = make_role()
+        role.add_member(10, [(0, 5)])
+        payload = full_sync_payload(role, role.owner_address)
+        assert "postings" not in payload
+
+
+# ---------------------------------------------------------------------------
+# Split-brain search: provisional serves the cut, demotes without
+# double-serving (section 5.4 + I2/I7)
+# ---------------------------------------------------------------------------
+
+class TestSplitBrainSearch:
+    def _search_world(self):
+        from repro.cdn.flower.search import KeywordSearchEngine, KeywordSpace
+
+        world = replication_world()
+        world.system.search_engine = KeywordSearchEngine(
+            KeywordSpace(num_keywords=8)
+        )
+        return world
+
+    def test_provisional_answers_scoped_searches_during_partition(self):
+        from repro.net.message import Message
+
+        world = self._search_world()
+        space = world.system.search_engine.space
+        client, registered = _register(world, key=(0, 5))
+        claimant = world.arrive(website=0, locality=0)
+        world.run(minutes(5))  # claimant registers as a content peer
+
+        # Partition-side outcome: the registered holder is unreachable
+        # and the claimant serves the slot provisionally.
+        registered.crash()
+        position = world.system.key_service.position_id(0, 0, 0)
+        role = DirectoryRole(claimant.address, 0, 0, 0, position)
+        role.add_member(client.address, [(0, 5)])
+        claimant._activate_provisional(role)
+        assert claimant.directory is role and role.provisional
+        # Promotion attached the search plane: postings are live.
+        assert role.search_space is space and role.postings
+
+        # Scoped replica-plane queries are answered authoritatively.
+        keyword = next(iter(space.keywords_of((0, 5))))
+        reply = claimant.handle_flower_search_replica(
+            Message(
+                src=client.address,
+                dst=claimant.address,
+                kind="flower.search_replica",
+                payload={"position": position, "keyword": keyword},
+            )
+        )
+        assert reply["status"] == "ok"
+        assert reply["source"] == "takeover"
+        assert reply["staleness_ms"] == 0.0
+        assert ((0, 5), client.address) in [
+            (tuple(k), a) for k, a in reply["matches"]
+        ]
+
+    def test_demoted_claimant_stops_serving_searches(self):
+        from repro.net.message import Message
+
+        world = self._search_world()
+        space = world.system.search_engine.space
+        client, registered = _register(world, key=(0, 5))
+        claimant = world.arrive(website=0, locality=0)
+        world.run(minutes(5))
+        position = world.system.key_service.position_id(0, 0, 0)
+        role = DirectoryRole(claimant.address, 0, 0, 0, position)
+        role.add_member(client.address, [(0, 5)])
+        claimant._activate_provisional(role)
+
+        world.run(minutes(20))  # discovery + reconcile + demotion
+
+        # The merge demoted the claimant (I2); only the registered holder
+        # still answers the slot's searches -- no double-serving.
+        assert claimant.directory is None
+        keyword = next(iter(space.keywords_of((0, 5))))
+        reply = claimant.handle_flower_search_replica(
+            Message(
+                src=client.address,
+                dst=claimant.address,
+                kind="flower.search_replica",
+                payload={"position": position, "keyword": keyword},
+            )
+        )
+        assert reply.get("source") != "takeover"
+        world.sim.trace.record("flower.search_done")
+        results = []
+        client.search(keyword, results.append)
+        world.run(seconds(30))
+        assert any(key == (0, 5) for key, __ in results[0])
+        done = world.sim.trace.events("flower.search_done")
+        assert [e.payload["source"] for e in done] == ["directory"]

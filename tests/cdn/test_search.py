@@ -2,11 +2,17 @@
 
 import pytest
 
-from repro.cdn.flower.search import KeywordSearchEngine, KeywordSpace
+from repro.cdn.flower.search import (
+    KeywordSearchEngine,
+    KeywordSpace,
+    SearchAvailabilityTracker,
+    staleness_bound_ms,
+)
+from repro.cdn.flower.system import FlowerSystem
 from repro.errors import CDNError
-from repro.sim.clock import seconds
+from repro.sim.clock import minutes, seconds
 
-from tests.cdn.conftest import CdnWorld
+from tests.cdn.conftest import CdnWorld, make_params
 
 
 class TestKeywordSpace:
@@ -38,6 +44,43 @@ class TestKeywordSpace:
         assert space.matches(key, keyword)
         non_keywords = set(space.all_keywords()) - space.keywords_of(key)
         assert not space.matches(key, next(iter(non_keywords)))
+
+    def test_golden_keyword_sets(self):
+        """The memoized derivation pins the exact historical sets: any
+        drift here silently re-shards every posting list."""
+        space = KeywordSpace(num_keywords=8)
+        golden = {
+            (0, 0): {"kw3", "kw4"},
+            (0, 5): {"kw7"},
+            (1, 7): {"kw1", "kw5", "kw7"},
+            (3, 11): {"kw1", "kw3"},
+            (7, 42): {"kw3"},
+        }
+        for key, expected in golden.items():
+            assert set(space.keywords_of(key)) == expected
+        wide = KeywordSpace(num_keywords=30, min_keywords=1, max_keywords=3)
+        assert set(wide.keywords_of((0, 5))) == {"kw29"}
+        assert set(wide.keywords_of((2, 19))) == {"kw4", "kw12", "kw17"}
+
+    def test_memoization_returns_identical_sets(self):
+        space = KeywordSpace(num_keywords=8)
+        first = space.keywords_of((0, 5))
+        # The cached hit is the *same* frozenset, not a recomputation.
+        assert space.keywords_of((0, 5)) is first
+        # A fresh space recomputes to an equal value (cache is invisible).
+        assert KeywordSpace(num_keywords=8).keywords_of((0, 5)) == first
+
+    def test_cache_eviction_keeps_answers_stable(self):
+        space = KeywordSpace(num_keywords=4)
+        space._cache_capacity = 8  # force evictions at toy scale
+        baseline = {
+            (ws, i): space.keywords_of((ws, i))
+            for ws in range(4)
+            for i in range(16)
+        }
+        assert len(space._cache) <= 8
+        for key, expected in baseline.items():
+            assert space.keywords_of(key) == expected
 
 
 class TestEngineOverIndex:
@@ -127,3 +170,141 @@ class TestPetalSearch:
         directory.search(next(iter(absent)), results.append)
         matched_keys = {key for key, __ in results[0]}
         assert (0, 5) not in matched_keys
+
+
+# ---------------------------------------------------------------------------
+# Query failover plane (section 5.4)
+# ---------------------------------------------------------------------------
+
+
+def make_failover_world(**overrides):
+    params = make_params(
+        replication_k=2, replication_anti_entropy_rounds=2, **overrides
+    )
+    world = CdnWorld(FlowerSystem, params=params)
+    world.system.search_engine = KeywordSearchEngine(
+        KeywordSpace(num_keywords=8)
+    )
+    return world
+
+
+class TestStalenessBound:
+    def test_bound_tracks_protocol_periods(self):
+        base = make_params()
+        slower = make_params(keepalive_period_ms=2 * base.keepalive_period_ms)
+        assert staleness_bound_ms(slower) == 2 * staleness_bound_ms(base)
+        deeper = make_params(
+            replication_k=2,
+            replication_anti_entropy_rounds=2
+            * base.replication_anti_entropy_rounds,
+        )
+        assert staleness_bound_ms(deeper) > staleness_bound_ms(base)
+
+
+class TestSearchFailover:
+    def test_failover_serves_replica_when_directory_dies(self):
+        world = make_failover_world()
+        space = world.system.search_engine.space
+        client = world.arrive(website=0, locality=0)
+        directory = world.directory_of(0, 0)
+        world.query(client, (0, 5))
+        world.run(seconds(10))
+        assert directory.directory.has_member(client.address)
+        # Two keepalive/sync periods: replicas acked, hint harvested.
+        world.run(minutes(25))
+        assert client._search_position is not None
+
+        world.sim.trace.record("flower.search_done")
+        directory.crash()
+        keyword = next(iter(space.keywords_of((0, 5))))
+        results = []
+        client.search(keyword, results.append)
+        world.run(minutes(1))  # RPC timeout + retries + failover chain
+
+        assert results, "failed-over search never completed"
+        assert any(key == (0, 5) for key, __ in results[0])
+        done = world.sim.trace.events("flower.search_done")
+        assert len(done) == 1
+        event = done[0]
+        assert event.payload["source"] in ("replica", "takeover")
+        bound = staleness_bound_ms(world.system.params)
+        assert 0.0 <= event.payload["staleness_ms"] <= bound
+
+    def test_search_without_failover_state_reports_outage(self):
+        """k=0: a dead directory means a sustained, *accounted* outage."""
+        world = CdnWorld(FlowerSystem, params=make_params(replication_k=0))
+        world.system.search_engine = KeywordSearchEngine(
+            KeywordSpace(num_keywords=8)
+        )
+        space = world.system.search_engine.space
+        client = world.arrive(website=0, locality=0)
+        directory = world.directory_of(0, 0)
+        world.query(client, (0, 5))
+        world.run(minutes(25))  # keepalives harvested the (empty) hint
+
+        world.sim.trace.record("flower.search_done")
+        directory.crash()
+        keyword = next(iter(space.keywords_of((0, 5))))
+        results = []
+        client.search(keyword, results.append)
+        world.run(minutes(1))
+
+        assert results == [[]]
+        done = world.sim.trace.events("flower.search_done")
+        assert len(done) == 1
+        assert done[0].payload["source"] == "none"
+
+    def test_directory_answer_is_source_directory(self):
+        world = make_failover_world()
+        space = world.system.search_engine.space
+        client = world.arrive(website=0, locality=0)
+        world.query(client, (0, 5))
+        world.run(seconds(10))
+        world.sim.trace.record("flower.search_done")
+        keyword = next(iter(space.keywords_of((0, 5))))
+        results = []
+        client.search(keyword, results.append)
+        world.run(seconds(10))
+        done = world.sim.trace.events("flower.search_done")
+        assert [e.payload["source"] for e in done] == ["directory"]
+        assert done[0].payload["staleness_ms"] == 0.0
+
+
+class TestAvailabilityTracker:
+    def _emit(self, world, source, staleness_ms=0.0, at=None):
+        world.sim.emit(
+            "flower.search_done",
+            peer=1,
+            website=0,
+            locality=0,
+            keyword="kw0",
+            matches=0,
+            source=source,
+            staleness_ms=staleness_ms,
+        )
+
+    def test_window_accounting(self):
+        world = CdnWorld(FlowerSystem)
+        tracker = SearchAvailabilityTracker(world.sim)
+        self._emit(world, "directory")
+        self._emit(world, "replica", staleness_ms=1234.0)
+        self._emit(world, "none")
+        self._emit(world, "unregistered")  # excluded from the denominator
+        stats = tracker.window_stats(0.0, 1.0)
+        assert stats["issued"] == 3
+        assert stats["answered"] == 2
+        assert stats["availability"] == pytest.approx(2 / 3)
+        assert stats["replica_served"] == 1
+        assert stats["max_replica_staleness_ms"] == 1234.0
+        assert stats["by_source"] == {
+            "directory": 1,
+            "replica": 1,
+            "none": 1,
+        }
+
+    def test_empty_window_is_vacuously_available(self):
+        world = CdnWorld(FlowerSystem)
+        tracker = SearchAvailabilityTracker(world.sim)
+        stats = tracker.window_stats(0.0, 1.0)
+        assert stats["issued"] == 0
+        assert stats["availability"] == 1.0

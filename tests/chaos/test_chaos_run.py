@@ -186,3 +186,77 @@ def test_load_bundle_rejects_garbage(tmp_path):
     path.write_text(json.dumps({"hello": "world"}))
     with pytest.raises(ConfigError):
         load_bundle(str(path))
+
+
+# ---------------------------------------------------------------------------
+# I7: search availability & staleness (section 5.4)
+# ---------------------------------------------------------------------------
+
+def _search_world(replication_k):
+    from repro.experiments.runner import build_world
+
+    config = small_config().replace(
+        directory_replication_k=replication_k,
+        search_keywords=8,
+        search_probe_period_s=60.0,
+    )
+    return build_world("flower", config, seed=5)
+
+
+def _emit_search(world, source, staleness_ms=0.0, website=0, locality=0):
+    world.sim.emit(
+        "flower.search_done",
+        peer=1,
+        website=website,
+        locality=locality,
+        keyword="kw0",
+        matches=0,
+        source=source,
+        staleness_ms=staleness_ms,
+    )
+
+
+def test_search_staleness_beyond_bound_is_a_violation():
+    from repro.chaos.auditor import InvariantAuditor
+
+    world = _search_world(replication_k=2)
+    auditor = InvariantAuditor(world, results_dir=None)
+    bound = auditor.search_staleness_bound_ms
+    _emit_search(world, "replica", staleness_ms=bound)  # at the bound: fine
+    assert auditor.violations == []
+    _emit_search(world, "replica", staleness_ms=bound + 1.0)
+    assert [v.kind for v in auditor.violations] == ["search_stale_beyond_bound"]
+    assert auditor.stats["search_replica_served"] == 2
+    assert auditor.stats["search_stale_max_ms"] == int(round(bound + 1.0))
+
+
+def test_search_outage_streak_trips_i7_when_replicated():
+    from repro.chaos.auditor import InvariantAuditor
+
+    world = _search_world(replication_k=2)
+    auditor = InvariantAuditor(world, results_dir=None)
+    strikes = auditor.config.search_strikes
+    # An answered search in between resets the streak.
+    for _ in range(strikes - 1):
+        _emit_search(world, "none")
+    _emit_search(world, "directory")
+    for _ in range(strikes - 1):
+        _emit_search(world, "none")
+    assert auditor.violations == []
+    _emit_search(world, "none")
+    assert [v.kind for v in auditor.violations] == ["search_unavailable"]
+    # Unregistered completions never enter the availability ledger.
+    before = auditor.stats["searches"]
+    _emit_search(world, "unregistered")
+    assert auditor.stats["searches"] == before
+
+
+def test_search_outage_is_expected_baseline_at_k0():
+    from repro.chaos.auditor import InvariantAuditor
+
+    world = _search_world(replication_k=0)
+    auditor = InvariantAuditor(world, results_dir=None)
+    for _ in range(10):
+        _emit_search(world, "none")
+    assert auditor.violations == []
+    assert auditor.stats["searches_unanswered"] == 10
