@@ -63,6 +63,38 @@ QUICK = {"population": 120, "duration_hours": 3.0}
 PROTOCOL = "flower"
 SEED = 1
 
+#: Sharded-engine scaling scenarios (``--sharded-curve``).  8 localities ->
+#: 8 shards, so worker counts 1/2/4/8 all divide the map.
+SHARDED_CANONICAL = {
+    "population": 2000,
+    "duration_hours": 1.0,
+    "num_websites": 16,
+    "num_active_websites": 4,
+    "num_localities": 8,
+    "objects_per_website": 100,
+}
+SHARDED_QUICK = {
+    "population": 480,
+    "duration_hours": 0.5,
+    "num_websites": 8,
+    "num_active_websites": 2,
+    "num_localities": 8,
+    "objects_per_website": 50,
+}
+SHARDED_WORKERS = [1, 2, 4, 8]
+SHARDED_QUICK_WORKERS = [1, 2]
+
+#: Large-population demonstration run (``--scale-run``).
+SCALE_RUN = {
+    "population": 50_000,
+    "duration_hours": 0.5,
+    "num_websites": 16,
+    "num_active_websites": 4,
+    "num_localities": 8,
+    "objects_per_website": 100,
+}
+SCALE_RUN_WORKERS = 8
+
 
 # --------------------------------------------------------------- measurement
 def measure_once(quick: bool) -> Dict[str, Any]:
@@ -81,17 +113,20 @@ def measure_once(quick: bool) -> Dict[str, Any]:
     sim = world.sim
     metrics = world.system.metrics
     queries = len(metrics.records)
-    return {
+    result = {
         "seconds": round(seconds, 4),
         "events_executed": sim.events_executed,
         "events_per_sec": round(sim.events_executed / seconds, 1),
         "queries": queries,
         "queries_per_sec": round(queries / seconds, 1),
-        # Older checkouts (the "before" side of an A/B) predate peak
-        # tracking; report 0 rather than crash.
-        "peak_pending_events": getattr(sim, "peak_pending_events", 0),
         "hit_ratio": metrics.hit_ratio(),
     }
+    # Older checkouts (the "before" side of an A/B) predate peak tracking;
+    # omit the key there rather than report a misleading 0.
+    peak = getattr(sim, "peak_pending_events", None)
+    if peak is not None:
+        result["peak_pending_events"] = peak
+    return result
 
 
 def best_of(rounds: int, quick: bool) -> Dict[str, Any]:
@@ -162,6 +197,123 @@ def interleaved_ab(
     }
 
 
+# ---------------------------------------------------------- sharded scaling
+def _host_cpus() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def measure_sharded_once(params: Dict[str, Any], workers: int) -> Dict[str, Any]:
+    """One sharded run under a wall-clock timer.
+
+    Wall clock (``time.perf_counter``), not CPU time: with workers > 1 the
+    simulation happens in child processes, which ``time.process_time``
+    does not count.  World construction is included (it happens inside the
+    workers and cannot be separated out), so these numbers are not directly
+    comparable with :func:`measure_once`.
+    """
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.sharded import run_sharded_experiment
+
+    config = ExperimentConfig.scaled(**params)
+    start = time.perf_counter()
+    result = run_sharded_experiment(PROTOCOL, config, seed=SEED, workers=workers)
+    seconds = time.perf_counter() - start
+    sharded = result.extra["sharded"]
+    return {
+        "workers": workers,
+        "seconds": round(seconds, 4),
+        "events_executed": result.events_executed,
+        "events_per_sec": round(result.events_executed / seconds, 1),
+        "queries": result.queries,
+        "hit_ratio": result.hit_ratio,
+        "num_shards": sharded["num_shards"],
+        "window_ms": sharded["window_ms"],
+        "bus_entries": sharded["bus_entries"],
+        "peak_pending_events": sharded["peak_pending_events"],
+    }
+
+
+def sharded_curve(quick: bool, rounds: int) -> Dict[str, Any]:
+    """Events/sec at increasing worker counts, invariance-checked.
+
+    Every worker count must reproduce the workers=1 merged results exactly
+    (same events, same hit ratio) -- a speedup that changes the simulation
+    is a bug, not a speedup.
+    """
+    params = SHARDED_QUICK if quick else SHARDED_CANONICAL
+    worker_counts = SHARDED_QUICK_WORKERS if quick else SHARDED_WORKERS
+    curve: List[Dict[str, Any]] = []
+    for workers in worker_counts:
+        runs = [measure_sharded_once(params, workers) for _ in range(rounds)]
+        _assert_deterministic(runs)
+        best = min(runs, key=lambda r: r["seconds"])
+        curve.append(best)
+        print(
+            f"  workers={workers}: {best['seconds']:.2f}s "
+            f"({best['events_per_sec']:,.0f} ev/s, "
+            f"{best['bus_entries']:,} bus entries)",
+            file=sys.stderr,
+        )
+    reference = curve[0]
+    for point in curve[1:]:
+        if (
+            point["events_executed"] != reference["events_executed"]
+            or point["hit_ratio"] != reference["hit_ratio"]
+        ):
+            raise SystemExit(
+                f"worker-count invariance violation: workers={point['workers']} "
+                f"produced {point['events_executed']}/{point['hit_ratio']} vs "
+                f"{reference['events_executed']}/{reference['hit_ratio']} at 1"
+            )
+        point["speedup_vs_1"] = round(
+            point["events_per_sec"] / reference["events_per_sec"], 3
+        )
+    reference["speedup_vs_1"] = 1.0
+    return {
+        "scenario": dict(params),
+        "seed": SEED,
+        "host_cpus": _host_cpus(),
+        "clock": "wall (time.perf_counter); construction included",
+        "curve": curve,
+    }
+
+
+def scale_run() -> Dict[str, Any]:
+    """One large-population run (P=50k) as a completion demonstration."""
+    print(
+        f"  scale run: P={SCALE_RUN['population']:,}, "
+        f"workers={SCALE_RUN_WORKERS} ...",
+        file=sys.stderr,
+    )
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.sharded import run_sharded_experiment
+
+    config = ExperimentConfig.scaled(**SCALE_RUN)
+    start = time.perf_counter()
+    result = run_sharded_experiment(
+        PROTOCOL, config, seed=SEED, workers=SCALE_RUN_WORKERS
+    )
+    seconds = time.perf_counter() - start
+    return {
+        "scenario": dict(SCALE_RUN),
+        "workers": SCALE_RUN_WORKERS,
+        "seed": SEED,
+        "host_cpus": _host_cpus(),
+        "seconds": round(seconds, 2),
+        "events_executed": result.events_executed,
+        "queries": result.queries,
+        "hit_ratio": result.hit_ratio,
+        "mean_lookup_latency_ms": result.mean_lookup_latency_ms,
+        "mean_transfer_ms": result.mean_transfer_ms,
+        "bus_entries": result.extra["sharded"]["bus_entries"],
+    }
+
+
 # -------------------------------------------------------------- calibration
 def calibrate() -> float:
     """Pure-Python ops/sec of this machine, for cross-machine normalization.
@@ -210,6 +362,23 @@ def run_check(path: Path, rounds: int) -> int:
     if normalized < floor:
         print(f"FAIL: >{REGRESSION_THRESHOLD:.0%} regression")
         return 1
+    sharded_ref = stored.get("sharded_scaling", {}).get("quick_normalized")
+    if sharded_ref is not None:
+        runs = [
+            measure_sharded_once(SHARDED_QUICK, workers=1) for _ in range(rounds)
+        ]
+        _assert_deterministic(runs)
+        best = min(runs, key=lambda r: r["seconds"])
+        sharded_normalized = best["events_per_sec"] / calib
+        sharded_floor = sharded_ref * (1.0 - REGRESSION_THRESHOLD)
+        print(
+            f"sharded quick: {best['events_per_sec']:,.0f} ev/s, "
+            f"normalized {sharded_normalized:.3f} "
+            f"(reference {sharded_ref:.3f}, floor {sharded_floor:.3f})"
+        )
+        if sharded_normalized < sharded_floor:
+            print(f"FAIL: >{REGRESSION_THRESHOLD:.0%} sharded regression")
+            return 1
     print("OK")
     return 0
 
@@ -238,6 +407,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"exit 1 on a >{REGRESSION_THRESHOLD:.0%} regression",
     )
     parser.add_argument(
+        "--sharded-curve",
+        action="store_true",
+        help="measure the sharded engine's worker-scaling curve (wall clock)",
+    )
+    parser.add_argument(
+        "--scale-run",
+        action="store_true",
+        help=f"run the P={SCALE_RUN['population']:,} sharded demonstration",
+    )
+    parser.add_argument(
         "--one-shot",
         action="store_true",
         help=argparse.SUPPRESS,  # internal: single measurement as JSON
@@ -250,6 +429,37 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.check:
         return run_check(Path(args.check), args.rounds)
+
+    if args.sharded_curve or args.scale_run:
+        out_path = Path(args.output)
+        report = json.loads(out_path.read_text()) if out_path.exists() else {}
+        if args.sharded_curve:
+            section = "quick" if args.quick else "canonical"
+            print(f"sharded scaling curve ({section}):", file=sys.stderr)
+            curve = sharded_curve(args.quick, args.rounds)
+            scaling = report.setdefault("sharded_scaling", {})
+            scaling[section] = curve
+            if args.quick:
+                scaling["quick_normalized"] = round(
+                    curve["curve"][0]["events_per_sec"] / calibrate(), 5
+                )
+            best = max(curve["curve"], key=lambda p: p["speedup_vs_1"])
+            print(
+                f"sharded {section}: best speedup {best['speedup_vs_1']}x at "
+                f"workers={best['workers']} on a {curve['host_cpus']}-CPU host"
+            )
+        if args.scale_run:
+            entry = scale_run()
+            report["sharded_scale_run"] = entry
+            print(
+                f"scale run: P={entry['scenario']['population']:,} finished in "
+                f"{entry['seconds']:.1f}s -- hit {entry['hit_ratio']:.3f}, "
+                f"lookup {entry['mean_lookup_latency_ms']:.0f} ms over "
+                f"{entry['queries']:,} queries"
+            )
+        out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path}")
+        return 0
 
     out_path = Path(args.output)
     report: Dict[str, Any] = (

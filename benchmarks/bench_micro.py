@@ -108,3 +108,66 @@ def test_gossip_round(benchmark):
         sim.run(until=sim.now + 1000.0)
 
     benchmark(run)
+
+
+def _synthetic_outboxes(num_shards=8, entries_per_shard=500):
+    """Realistic cross-shard bus traffic: chord-style payloads, mixed kinds."""
+    from repro.net.shardnet import MSG, REPLY
+
+    rng = random.Random(9)
+    outboxes = {}
+    for src in range(num_shards):
+        outbox = []
+        for serial in range(entries_per_shard):
+            dst_shard = rng.randrange(num_shards - 1)
+            if dst_shard >= src:
+                dst_shard += 1
+            arrival = round(rng.uniform(0.0, 250.0), 6)
+            if serial % 3 == 2:
+                outbox.append(
+                    (REPLY, arrival, dst_shard, (dst_shard, serial),
+                     {"successor": (rng.getrandbits(30), rng.getrandbits(19)),
+                      "hops": serial % 5},
+                     rng.getrandbits(19))
+                )
+            else:
+                outbox.append(
+                    (MSG, arrival, dst_shard, rng.getrandbits(19),
+                     "chord.find_successor",
+                     {"key": rng.getrandbits(30), "hops": serial % 5,
+                      "origin": rng.getrandbits(19)},
+                     rng.getrandbits(19), arrival - 100.0, (src, serial))
+                )
+        outboxes[src] = outbox
+    return outboxes
+
+
+def test_bus_route_entries_merge(benchmark):
+    """Canonical (arrival, src, serial) merge of 4k boundary entries.
+
+    This is the per-barrier cost the sharded scheduler pays in the parent
+    hub -- the serial section of every window, so it bounds multi-worker
+    scaling directly (Amdahl).
+    """
+    from repro.sim.sharded import route_entries
+
+    outboxes = _synthetic_outboxes()
+    total = sum(len(v) for v in outboxes.values())
+    inboxes = benchmark(lambda: route_entries(outboxes))
+    assert sum(len(v) for v in inboxes.values()) == total
+
+
+def test_bus_entry_serialization(benchmark):
+    """Pickle round-trip of one shard's outbox (the per-window IPC cost).
+
+    Boundary entries are plain tuples of primitives by design; this tracks
+    the serialization price per entry crossing a process boundary.
+    """
+    import pickle
+
+    outbox = _synthetic_outboxes()[0]
+
+    def run():
+        return pickle.loads(pickle.dumps(outbox, protocol=pickle.HIGHEST_PROTOCOL))
+
+    assert len(benchmark(run)) == len(outbox)

@@ -442,11 +442,18 @@ class CdnSystem:
         self.params = params
         self.metrics = metrics or MetricsCollector()
         self.zipf = ZipfSampler(catalog.objects_per_website, params.zipf_exponent)
-        self.servers: Dict[WebsiteId, OriginServer] = {
-            website: OriginServer(network, website) for website in catalog.websites()
-        }
+        self.servers: Dict[WebsiteId, OriginServer] = self._make_servers()
         self.peers: Dict[int, BasePeer] = {}
         self._websites: Dict[int, WebsiteId] = {}
+
+    def _make_servers(self) -> Dict[WebsiteId, OriginServer]:
+        """One origin server per website.  Sharded systems override this to
+        register the servers in their shard's infrastructure address block
+        (every shard hosts its own replica of the stateless server set)."""
+        return {
+            website: OriginServer(self.network, website)
+            for website in self.catalog.websites()
+        }
 
     # -------------------------------------------------------------- identity
     def website_of(self, identity: int) -> WebsiteId:

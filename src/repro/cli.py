@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.analysis.ascii import line_chart
 from repro.analysis.compare import ComparisonReport
+from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import PROTOCOLS, run_experiment
 from repro.metrics.overhead import OverheadReport
@@ -49,6 +50,15 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="directory replication degree (0 = off; warm failover, section 5.3)",
     )
     parser.add_argument("--json", metavar="PATH", help="also write the result as JSON")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = the single-simulator path; "
+        "> 1 runs the sharded engine, flower only, and N must divide the "
+        "shard map -- one shard per locality)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -90,7 +100,9 @@ def _print_result(result) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     """Handler of ``repro run``: one experiment, printed summary."""
     config = _config_from(args)
-    result = run_experiment(args.protocol, config, seed=args.seed)
+    result = run_experiment(
+        args.protocol, config, seed=args.seed, workers=getattr(args, "workers", 1)
+    )
     _print_result(result)
     if args.plot and result.hit_ratio_curve:
         print()
@@ -107,6 +119,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """Handler of ``repro compare``: Flower vs Squirrel + shape checks."""
+    if getattr(args, "workers", 1) != 1:
+        raise ConfigError(
+            "compare runs squirrel, which the sharded engine does not "
+            "support; rerun with --workers 1"
+        )
     config = _config_from(args)
     flower = run_experiment("flower", config, seed=args.seed)
     squirrel = run_experiment("squirrel", config, seed=args.seed)
@@ -146,7 +163,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 replication=args.replication,
             )
             config = _config_from(namespace)
-            result = run_experiment(protocol, config, seed=args.seed)
+            result = run_experiment(
+                protocol, config, seed=args.seed, workers=getattr(args, "workers", 1)
+            )
             rows.append(
                 [
                     population,
@@ -171,7 +190,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_overhead(args: argparse.Namespace) -> int:
     """Handler of ``repro overhead``: message-overhead breakdown."""
     config = _config_from(args)
-    result = run_experiment(args.protocol, config, seed=args.seed)
+    result = run_experiment(
+        args.protocol, config, seed=args.seed, workers=getattr(args, "workers", 1)
+    )
     report = OverheadReport(result.extra["message_counts"], result.queries)
     print(result.summary_line())
     print()
@@ -202,6 +223,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         # the auditor's I7 (search availability / staleness) has traffic
         # to judge.  Off by default: search changes the trace stream.
         config = config.replace(search_keywords=24, search_probe_period_s=45.0)
+    workers = getattr(args, "workers", 1)
+    if workers != 1:
+        # Validate the shape up front so a bad worker count fails before
+        # any plan runs, with the actionable divisibility message.
+        from repro.experiments.sharded import validate_sharded
+
+        validate_sharded(args.protocol, config, workers)
+        print(
+            f"note: --workers {workers} runs each plan's fault schedule on "
+            f"the sharded engine; the online invariant auditor needs the "
+            f"single-simulator world and is OFF in this mode."
+        )
     exit_code = 0
     payload = {}
     for offset in range(args.plans):
@@ -214,6 +247,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             intensity=args.intensity,
             population=config.population,
         )
+        if workers != 1:
+            from repro.experiments.sharded import run_sharded_experiment
+
+            chaos_config = config.replace(
+                fault_schedule=tuple(config.fault_schedule) + tuple(plan.faults)
+            )
+            result = run_sharded_experiment(
+                args.protocol, chaos_config, seed=args.seed, workers=workers
+            )
+            print(f"{plan.name}: {result.summary_line()}")
+            drops = result.extra.get("drop_counts", {})
+            dropped = sum(drops.values())
+            print(f"  faults injected: {len(plan.faults)}; messages dropped: {dropped}")
+            payload[plan.name] = result.to_dict()
+            continue
         report = run_chaos(
             args.protocol,
             config,
@@ -306,7 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ConfigError as error:
+        # Shape mistakes (e.g. a --workers value that does not divide the
+        # shard map) are user errors, not crashes: one clear line, exit 2.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

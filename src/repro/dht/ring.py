@@ -181,6 +181,32 @@ class ChordRing:
         return len(self._members)
 
     # ------------------------------------------------------------ warm start
+    def warm_tables(self, ordered_refs: List["NodeRef"], index: int):
+        """Converged ``(successors, predecessor, fingers)`` of one member.
+
+        *ordered_refs* is the full ring membership as plain refs, sorted by
+        identifier; *index* selects the member whose tables to compute.
+        Exactly the state stabilization would converge to -- the same
+        arithmetic :meth:`warm_start` applies to co-resident nodes, exposed
+        over refs so sharded runs can compute tables for a globally known
+        membership whose nodes live in other shards' simulators.
+        """
+        n = len(ordered_refs)
+        if n == 0:
+            raise DHTError("cannot compute warm tables of an empty ring")
+        ids = [ref.id for ref in ordered_refs]
+        r = self.params.successor_list_size
+        successors = [ordered_refs[(index + k) % n] for k in range(1, min(r, n) + 1)]
+        if not successors:
+            successors = [ordered_refs[index]]
+        fingers = [
+            ordered_refs[
+                bisect_left(ids, self.space.finger_start(ids[index], i)) % n
+            ]
+            for i in range(self.params.bits)
+        ]
+        return successors, ordered_refs[(index - 1) % n], fingers
+
     def warm_start(self, nodes: Iterable["ChordNode"]) -> None:
         """Wire *nodes* into a fully stabilized ring instantly.
 
@@ -194,25 +220,15 @@ class ChordRing:
         ids = [n.node_id for n in ordered]
         if len(set(ids)) != len(ids):
             raise DHTError("duplicate identifiers in warm start")
-        n = len(ordered)
-        r = self.params.successor_list_size
+        refs = [n.ref for n in ordered]
         for index, node in enumerate(ordered):
-            successors = [ordered[(index + k) % n].ref for k in range(1, min(r, n) + 1)]
-            if not successors:
-                successors = [node.ref]
+            successors, predecessor, fingers = self.warm_tables(refs, index)
             node.adopt_warm_state(
                 successors=successors,
-                predecessor=ordered[(index - 1) % n].ref,
-                fingers=[
-                    self._successor_of(ids, ordered, self.space.finger_start(node.node_id, i))
-                    for i in range(self.params.bits)
-                ],
+                predecessor=predecessor,
+                fingers=fingers,
             )
             self.register(node)
-
-    def _successor_of(self, ids: List[ChordId], ordered: List["ChordNode"], key: ChordId):
-        """First node whose id >= key (cyclically) -- warm-start helper."""
-        return ordered[bisect_left(ids, key) % len(ordered)].ref
 
 
 # Imported at the bottom to break the node <-> ring reference cycle for type

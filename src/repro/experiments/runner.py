@@ -191,6 +191,7 @@ def run_experiment(
     protocol: str,
     config: Optional[ExperimentConfig] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run one full experiment and summarise it.
 
@@ -200,8 +201,20 @@ def run_experiment(
             P = 3000 -- expect a multi-minute run; tests and examples pass
             :meth:`ExperimentConfig.scaled`).
         seed: master RNG seed.
+        workers: worker processes.  1 (the default) runs the legacy
+            single-simulator path, bit-identical to the golden traces;
+            > 1 delegates to the sharded engine
+            (:func:`repro.experiments.sharded.run_sharded_experiment`),
+            which partitions the world by locality and is its own
+            deterministic model (invariant in the worker count, but not
+            stream-identical to the single-simulator build).
     """
     config = config or ExperimentConfig()
+    if workers != 1:
+        # Local import: the sharded engine depends on this module's siblings.
+        from repro.experiments.sharded import run_sharded_experiment
+
+        return run_sharded_experiment(protocol, config, seed=seed, workers=workers)
     world = build_world(protocol, config, seed)
     world.run()
     system = world.system

@@ -1,0 +1,390 @@
+"""Sharded experiment execution: build N shard worlds, run them in lockstep.
+
+Front door: :func:`run_sharded_experiment` -- the sharded counterpart of
+:func:`repro.experiments.runner.run_experiment`.  The world is partitioned
+by locality into ``num_shards`` shards (default: one per locality, capped
+by the address space), each shard gets its own complete stack -- simulator,
+sharded network, origin-server replicas, Flower system, churn process,
+fault controller -- and the conservative window scheduler of
+:mod:`repro.sim.sharded` drives them to the horizon, locally or across
+forked worker processes.
+
+Determinism: a shard's full event stream is a pure function of
+``(config, seed, shard_id, num_shards)``.  Worker count only changes which
+process hosts a shard, never what the shard computes -- the invariance
+tests pin per-shard stream fingerprints at workers=1/2/4.
+
+The sharded model is *not* stream-identical to the single-process build
+(different topology construction, exact binning, per-shard origin servers,
+bus-floored cross-shard arrivals); ``workers=1`` on the CLI therefore keeps
+routing through the legacy single-simulator path, bit-identical to the
+golden traces, and the sharded engine is its own model with its own pinned
+goldens.
+
+Timeout inflation: every cross-shard hop can be floored to the next window
+barrier, so a round trip stretches by up to ``2 * window_ms`` beyond pure
+link latency.  The dring RPC timeout and the transport default timeout are
+widened by exactly that slack, keeping failure detection sound (no spurious
+timeouts from bus scheduling alone).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.metrics.collector import MetricsCollector
+from repro.net.faults import FaultController
+from repro.net.shardnet import (
+    MAX_SHARDS,
+    ShardedBinner,
+    ShardedNetwork,
+    ShardedTopology,
+    ShardMap,
+    drain_outbox,
+)
+from repro.sim.clock import minutes, seconds
+from repro.sim.engine import Simulator
+from repro.sim.rng import derive_seed
+from repro.sim.sharded import StreamFingerprint, run_windows_parallel
+from repro.workload.catalog import Catalog
+from repro.workload.churn import ChurnModel
+
+#: Protocols the sharded engine supports.  Flower's structure is the
+#: parallelism argument (petal traffic is locality-internal); squirrel's
+#: single global all-peer ring has no thin cut to shard along.
+SHARDABLE_PROTOCOLS = ("flower",)
+
+
+def default_num_shards(config: ExperimentConfig) -> int:
+    """One shard per locality, folded down to fit the address space."""
+    for candidate in range(min(config.num_localities, MAX_SHARDS), 0, -1):
+        if config.num_localities % candidate == 0:
+            return candidate
+    return 1
+
+
+def default_window_ms(config: ExperimentConfig) -> float:
+    """Conservative lookahead window: half the maximum link latency.
+
+    Any window <= latency_max keeps the cross-shard round trip under
+    ``2 * (latency_max + window)``; half the maximum halves the worst
+    added delivery delay while keeping the barrier count manageable.
+    """
+    return config.latency_max_ms / 2.0
+
+
+def _split(total: int, num_shards: int, shard_id: int) -> int:
+    """Shard *shard_id*'s share of *total*, remainder to the lowest ids."""
+    return total // num_shards + (1 if shard_id < total % num_shards else 0)
+
+
+class ShardCell:
+    """One shard's fully assembled world, driven by the window scheduler."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        master_seed: int,
+        shard_map: ShardMap,
+        shard_id: int,
+        window_ms: float,
+        fingerprint: bool,
+    ) -> None:
+        self.shard_id = shard_id
+        slack_ms = 2.0 * window_ms
+        params = config.protocol_params()
+        params = dataclasses.replace(
+            params,
+            dring=dataclasses.replace(
+                params.dring,
+                rpc_timeout_ms=params.dring.rpc_timeout_ms + slack_ms,
+            ),
+        )
+        self.sim = Simulator(seed=derive_seed(master_seed, f"shard-{shard_id}"))
+        self.fingerprint = StreamFingerprint(self.sim) if fingerprint else None
+        topology = ShardedTopology(
+            shard_map,
+            topology_seed=master_seed,
+            latency_min_ms=config.latency_min_ms,
+            latency_max_ms=config.latency_max_ms,
+        )
+        self.network = ShardedNetwork(
+            self.sim,
+            topology,
+            shard_map,
+            shard_id,
+            default_timeout_ms=3.0 * config.latency_max_ms + slack_ms,
+        )
+        if config.message_loss_rate > 0.0:
+            self.network.configure_loss(config.message_loss_rate, self.sim.rng("loss"))
+        binner = ShardedBinner(shard_map)
+        catalog = Catalog(
+            num_websites=config.num_websites,
+            objects_per_website=config.objects_per_website,
+            num_active_websites=config.num_active_websites,
+        )
+        # Local import: ShardedFlowerSystem -> FlowerSystem -> cdn.base is a
+        # heavier dependency chain than this module needs at import time.
+        from repro.cdn.flower.sharded import ShardedFlowerSystem
+
+        self.system = ShardedFlowerSystem(
+            self.sim, self.network, binner, catalog, params, shard_map, shard_id
+        )
+        self.search_probes = None
+        if config.search_keywords > 0:
+            from repro.cdn.flower.search import (
+                KeywordSearchEngine,
+                KeywordSpace,
+                SearchProbeWorkload,
+            )
+
+            self.system.search_engine = KeywordSearchEngine(
+                KeywordSpace(num_keywords=config.search_keywords)
+            )
+            if config.search_probe_period_s > 0:
+                self.search_probes = SearchProbeWorkload(
+                    self.sim,
+                    self.system,
+                    period_ms=seconds(config.search_probe_period_s),
+                    rng=self.sim.rng("search_probes"),
+                )
+        self.system.setup_initial_population()
+        self.churn = ChurnModel(
+            self.sim,
+            self.sim.rng("churn"),
+            num_identities=_split(config.num_identities, shard_map.num_shards, shard_id),
+            mean_uptime_ms=minutes(config.mean_uptime_min),
+            target_population=_split(config.population, shard_map.num_shards, shard_id),
+            on_arrival=self.system.on_arrival,
+            on_departure=self.system.on_departure,
+        )
+        for identity in self.system.seed_identities:
+            self.churn.seed_online(identity)
+        self.churn.start()
+        self.faults: Optional[FaultController] = None
+        if config.fault_schedule:
+            self.faults = FaultController(
+                self.sim,
+                self.network,
+                rng=self.sim.rng("faults"),
+                locality_of=binner.locality_of,
+            )
+            self.faults.apply(config.fault_schedule)
+
+    # ------------------------------------------------- window-scheduler API
+    def run_to(self, until_ms: float) -> None:
+        self.sim.run(until=until_ms)
+
+    def drain(self) -> List[tuple]:
+        return drain_outbox(self.network)
+
+    def inject(self, entries: List[tuple], barrier_ms: float) -> None:
+        self.network.inject_entries(entries, barrier_ms)
+
+    def finalize(self) -> Dict[str, Any]:
+        """The shard's results as a plain picklable payload."""
+        system = self.system
+        return {
+            "shard_id": self.shard_id,
+            "records": list(system.metrics.records),
+            "events_executed": self.sim.events_executed,
+            "peak_pending_events": self.sim.peak_pending_events,
+            "messages_sent": self.network.messages_sent,
+            "kind_counts": dict(self.network.kind_counts),
+            "drop_counts": dict(self.network.drop_counts),
+            "bus_entries_out": self.network.bus_entries_out,
+            "bus_entries_in": self.network.bus_entries_in,
+            "arrivals": self.churn.arrivals,
+            "departures": self.churn.departures,
+            "online_peers": system.online_peers,
+            "directories": system.directory_count(),
+            "expired_members": system.expired_members,
+            "fingerprint": (
+                self.fingerprint.hexdigest() if self.fingerprint is not None else None
+            ),
+        }
+
+
+class _CellBuilder:
+    """Builds one worker's cells; module-level so fork workers can run it."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        master_seed: int,
+        shard_map: ShardMap,
+        window_ms: float,
+        fingerprint: bool,
+    ) -> None:
+        self.config = config
+        self.master_seed = master_seed
+        self.shard_map = shard_map
+        self.window_ms = window_ms
+        self.fingerprint = fingerprint
+
+    def __call__(self, shard_ids: List[int]) -> Dict[int, ShardCell]:
+        return {
+            shard_id: ShardCell(
+                self.config,
+                self.master_seed,
+                self.shard_map,
+                shard_id,
+                self.window_ms,
+                self.fingerprint,
+            )
+            for shard_id in shard_ids
+        }
+
+
+def validate_sharded(
+    protocol: str,
+    config: ExperimentConfig,
+    workers: int,
+    num_shards: Optional[int] = None,
+) -> int:
+    """Check a sharded run's shape; return the resolved shard count.
+
+    Raises :class:`~repro.errors.ConfigError` with an actionable message on
+    any mismatch (unsupported protocol/topology, worker count that does not
+    divide the shard map, population too small to split).
+    """
+    if protocol not in SHARDABLE_PROTOCOLS:
+        raise ConfigError(
+            f"sharded execution (workers > 1) supports protocols "
+            f"{list(SHARDABLE_PROTOCOLS)}; {protocol!r} has no locality "
+            f"partition to shard along -- rerun with --workers 1"
+        )
+    if config.topology != "clustered":
+        raise ConfigError(
+            "sharded execution needs the clustered topology (localities are "
+            "the shard unit); rerun with --workers 1"
+        )
+    resolved = num_shards if num_shards is not None else default_num_shards(config)
+    # ShardMap re-validates shard/locality divisibility with its own errors.
+    shard_map = ShardMap(resolved, config.num_localities, config.num_websites)
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1 (got {workers})")
+    if resolved % workers != 0:
+        raise ConfigError(
+            f"workers={workers} does not divide the {resolved}-shard map "
+            f"cleanly; choose a divisor of {resolved} (shards = one per "
+            f"locality group, {config.num_localities} localities here)"
+        )
+    if config.population < resolved:
+        raise ConfigError(
+            f"population {config.population} cannot be split over "
+            f"{resolved} shards; raise population or lower num_shards"
+        )
+    seeds_per_shard = config.num_websites * shard_map.localities_per_shard
+    min_identities = _split(config.num_identities, resolved, resolved - 1)
+    if seeds_per_shard > min_identities:
+        raise ConfigError(
+            f"per-shard identity pool ({min_identities}) smaller than the "
+            f"per-shard seed population ({seeds_per_shard}); raise "
+            f"population or shrink num_websites x num_localities"
+        )
+    return resolved
+
+
+def run_sharded_experiment(
+    protocol: str,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 0,
+    workers: int = 1,
+    num_shards: Optional[int] = None,
+    window_ms: Optional[float] = None,
+    fingerprint: bool = False,
+) -> ExperimentResult:
+    """Run one experiment on the sharded engine and merge the results.
+
+    Args:
+        protocol: must be in :data:`SHARDABLE_PROTOCOLS`.
+        config: experiment parameters (defaults to paper Table 1).
+        seed: master RNG seed; shard ``s`` derives its own stream space
+            from ``derive_seed(seed, "shard-s")``.
+        workers: worker processes; must divide the shard count.  1 runs
+            every shard in-process (no IPC, same results by construction).
+        num_shards: shard count (default: one per locality, folded to fit
+            the 16-shard address space).
+        window_ms: conservative window (default: latency_max / 2).
+        fingerprint: also compute per-shard SHA-256 stream fingerprints
+            (slows the run; used by the invariance tests).
+    """
+    config = config or ExperimentConfig()
+    resolved = validate_sharded(protocol, config, workers, num_shards)
+    shard_map = ShardMap(resolved, config.num_localities, config.num_websites)
+    window = window_ms if window_ms is not None else default_window_ms(config)
+    if window <= 0:
+        raise ConfigError(f"window_ms must be positive (got {window})")
+    builder = _CellBuilder(config, seed, shard_map, window, fingerprint)
+    payloads = run_windows_parallel(
+        builder, resolved, workers, config.duration_ms, window
+    )
+    return merge_shard_results(
+        protocol, config, seed, payloads, workers, resolved, window
+    )
+
+
+def merge_shard_results(
+    protocol: str,
+    config: ExperimentConfig,
+    seed: int,
+    payloads: Dict[int, Dict[str, Any]],
+    workers: int,
+    num_shards: int,
+    window_ms: float,
+) -> ExperimentResult:
+    """Fold per-shard payloads into one :class:`ExperimentResult`.
+
+    Query records are merged in full sort order (QueryRecord is a tuple;
+    time leads the key), so the merged metrics are independent of shard
+    iteration order and worker count.
+    """
+    ordered = [payloads[sid] for sid in sorted(payloads)]
+    records = sorted(record for payload in ordered for record in payload["records"])
+    metrics = MetricsCollector()
+    for record in records:
+        metrics.record(record)
+    kind_counts: Dict[str, int] = {}
+    drop_counts: Dict[str, int] = {}
+    for payload in ordered:
+        for kind, count in payload["kind_counts"].items():
+            kind_counts[kind] = kind_counts.get(kind, 0) + count
+        for cause, count in payload["drop_counts"].items():
+            drop_counts[cause] = drop_counts.get(cause, 0) + count
+    extra = {
+        "online_peers": sum(p["online_peers"] for p in ordered),
+        "message_counts": kind_counts,
+        "drop_counts": drop_counts,
+        "directories": sum(p["directories"] for p in ordered),
+        "expired_members": sum(p["expired_members"] for p in ordered),
+        "sharded": {
+            "num_shards": num_shards,
+            "workers": workers,
+            "window_ms": window_ms,
+            "bus_entries": sum(p["bus_entries_out"] for p in ordered),
+            "peak_pending_events": max(p["peak_pending_events"] for p in ordered),
+            "events_per_shard": {
+                str(p["shard_id"]): p["events_executed"] for p in ordered
+            },
+            "fingerprints": {
+                str(p["shard_id"]): p["fingerprint"] for p in ordered
+            },
+        },
+    }
+    return ExperimentResult.from_metrics(
+        protocol=protocol,
+        seed=seed,
+        population=config.population,
+        duration_hours=config.duration_hours,
+        metrics=metrics,
+        events_executed=sum(p["events_executed"] for p in ordered),
+        messages_sent=sum(p["messages_sent"] for p in ordered),
+        arrivals=sum(p["arrivals"] for p in ordered),
+        departures=sum(p["departures"] for p in ordered),
+        extra=extra,
+    )

@@ -111,6 +111,79 @@ def test_same_seed_reruns_are_bit_identical():
     assert first == second
 
 
+#: Pinned goldens of the sharded engine (its own model: exact binning,
+#: per-shard origin servers, bus-floored cross-shard arrivals -- see
+#: docs/PROTOCOLS.md section 10).  Derived at workers=1 for SHARDED_CONFIG
+#: below, seed 1, 4 shards; the invariance tests require workers=2 and 4 to
+#: reproduce these exact hashes, which is what makes the worker count
+#: unobservable in the results.
+SHARDED_GOLDEN_HIT = 0.28780487804878047
+SHARDED_GOLDEN_FINGERPRINTS = {
+    "0": "a39f505a28a99ab7d26344661eb39c20d7ea8515b782e0efe91cd48aae7d78ce",
+    "1": "6046684ccee1a6b17585c7cf0ca2302ed68fd3d3f105bab25975fefe8b52b91c",
+    "2": "ca641471705ab089b9cef83f77813b977efa609dfc1381127c6dbd9d5f62babd",
+    "3": "1d83023183373833450f9c1e85fbc1f8af8b20ee44ae0a5ddd3c498c40bc032d",
+}
+
+
+def sharded_config() -> ExperimentConfig:
+    return ExperimentConfig.scaled(
+        population=96,
+        duration_hours=1.0,
+        num_websites=4,
+        num_active_websites=2,
+        num_localities=4,
+        objects_per_website=30,
+    )
+
+
+def run_sharded(workers: int):
+    from repro.experiments.sharded import run_sharded_experiment
+
+    return run_sharded_experiment(
+        "flower", sharded_config(), seed=SEED, workers=workers, fingerprint=True
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded_reference():
+    """The workers=1 sharded run, shared by the invariance tests."""
+    return run_sharded(workers=1)
+
+
+@pytest.mark.slow
+def test_sharded_golden_fingerprints(sharded_reference):
+    """The sharded engine's per-shard streams match their pinned goldens."""
+    sharded = sharded_reference.extra["sharded"]
+    assert sharded["fingerprints"] == SHARDED_GOLDEN_FINGERPRINTS
+    assert sharded_reference.hit_ratio == SHARDED_GOLDEN_HIT
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", [2, 4])
+def test_sharded_worker_count_invariance(sharded_reference, workers):
+    """workers=2/4 reproduce the workers=1 streams and merged metrics exactly.
+
+    Worker count decides which *process* hosts a shard, nothing else: the
+    same canonical bus merge runs in-process and in the parent hub, so every
+    shard sees the identical injected sequence.  Any drift here means the
+    bus ordering (or something upstream of it) leaked host state into the
+    simulation.
+    """
+    result = run_sharded(workers=workers)
+    reference = sharded_reference
+    assert (
+        result.extra["sharded"]["fingerprints"]
+        == reference.extra["sharded"]["fingerprints"]
+    )
+    assert result.hit_ratio == reference.hit_ratio
+    assert result.queries == reference.queries
+    assert result.mean_lookup_latency_ms == reference.mean_lookup_latency_ms
+    assert result.events_executed == reference.events_executed
+    assert result.extra["message_counts"] == reference.extra["message_counts"]
+    assert result.extra["drop_counts"] == reference.extra["drop_counts"]
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("protocol", sorted(GOLDEN))
 def test_tracing_does_not_change_results(protocol):
