@@ -98,6 +98,24 @@ class ProtocolParams:
             draws, runs bit-identical to the non-replicated build.
         replication_anti_entropy_rounds: every Nth replica-sync round
             ships a full snapshot instead of a delta (anti-entropy).
+        directory_queue_limit: bounded admission queue (in requests) per
+            directory instance.  0 disables admission control entirely --
+            no queueing math runs, queries are never shed, the run stays
+            bit-identical to the ungated build.  With a limit, a query
+            arriving at a directory whose virtual backlog already holds
+            this many requests is *shed* with an explicit redirect
+            instead of silently piling up.
+        directory_service_ms: mean service time one directory lookup
+            occupies the admission queue for (only read when
+            ``directory_queue_limit > 0``).
+        overload_shedding: replica-aware PetalUp overload handling.
+            When on, a splitting directory seeds the new instance with a
+            deterministic partition of its member view (derived from the
+            same versioned state the section 5.3 replicas carry), and an
+            instance that stays overloaded sheds members directly to its
+            warm ring successor instead of bouncing new clients through
+            the section 4 instance scan.  Off by default: splits hand
+            over an empty view, exactly the paper's behaviour.
     """
 
     query_interval_ms: float = minutes(6)
@@ -121,6 +139,9 @@ class ProtocolParams:
     push_queue_limit: int = 8
     replication_k: int = 0
     replication_anti_entropy_rounds: int = 4
+    directory_queue_limit: int = 0
+    directory_service_ms: float = 40.0
+    overload_shedding: bool = False
 
     def __post_init__(self) -> None:
         if self.query_interval_ms <= 0 or self.gossip_period_ms <= 0:
@@ -143,6 +164,10 @@ class ProtocolParams:
             raise CDNError("replication_k must be >= 0")
         if self.replication_anti_entropy_rounds < 1:
             raise CDNError("replication_anti_entropy_rounds must be >= 1")
+        if self.directory_queue_limit < 0:
+            raise CDNError("directory_queue_limit must be >= 0")
+        if self.directory_service_ms <= 0:
+            raise CDNError("directory_service_ms must be positive")
 
 
 class BasePeer(NetworkNode):

@@ -20,6 +20,7 @@ while it serves as a directory.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, Iterable, List, Optional, Set
 
@@ -56,6 +57,18 @@ class DirectoryRole:
         self.index: Dict[ObjectKey, Set[Address]] = {}
         self.queries_handled = 0
         self.promoting = False  # a PetalUp split is in flight
+        #: Bounded admission queue (overload extension).  A *virtual*
+        #: queue: ``busy_until`` is the simulated time the last admitted
+        #: request finishes service, so backlog and depth derive from it
+        #: without per-request state.  Pure bookkeeping -- only read when
+        #: ``directory_queue_limit > 0``; it never draws randomness or
+        #: emits events on its own.
+        self.busy_until = 0.0
+        self.queries_shed = 0
+        self.peak_queue_depth = 0
+        #: Members handed off to the warm successor instance under
+        #: sustained overload (replica-aware shedding, PetalUp extension).
+        self.members_shed = 0
         #: Monotonic state version + change journal (replication, section
         #: 5.3).  Pure state: maintaining these draws no randomness and
         #: emits no events, so replication-off runs stay bit-identical.
@@ -84,6 +97,33 @@ class DirectoryRole:
 
     def overloaded(self, limit: Optional[int]) -> bool:
         return limit is not None and self.load >= limit
+
+    # ------------------------------------------------------------- admission
+    def queue_depth(self, now: float, service_ms: float) -> int:
+        """Requests currently waiting or in service in the virtual queue."""
+        backlog_ms = self.busy_until - now
+        if backlog_ms <= 0.0:
+            return 0
+        return int(math.ceil(backlog_ms / service_ms))
+
+    def admit(self, now: float, service_ms: float, limit: int):
+        """Try to admit one request into the bounded queue.
+
+        Returns ``(admitted, queue_wait_ms, depth)``: on admission the
+        virtual backlog is extended by one service time and the caller
+        owes its client a ``queue_wait_ms`` delay before the reply takes
+        effect; on rejection (depth at the limit) nothing changes and the
+        request must be shed with an explicit outcome.
+        """
+        depth = self.queue_depth(now, service_ms)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        if depth >= limit:
+            self.queries_shed += 1
+            return False, 0.0, depth
+        wait_ms = max(0.0, self.busy_until - now)
+        self.busy_until = max(now, self.busy_until) + service_ms
+        return True, wait_ms, depth
 
     # ------------------------------------------------------------ versioning
     def _mark_changed(self, address: Address) -> None:

@@ -133,6 +133,15 @@ class FlowerPeer(BasePeer):
         self._sweep_process: Optional[PeriodicProcess] = None
         self._recovering = False
         self._registering = False
+        # Members a replica-aware split handed to us, to be re-pointed at
+        # this peer once the new directory role is actually active:
+        # ``(position, [addresses])`` (overload extension, inert otherwise).
+        self._shed_notices: Optional[tuple] = None
+        # A member transfer to the successor instance is in flight.
+        self._shedding_members = False
+        #: Successful ``flower.fetch`` replies served from our cache --
+        #: the per-peer content-load signal behind the Gini reports.
+        self.fetches_served = 0
         # --- warm failover (section 5.3; inert while replication_k == 0) ---
         self.replica_store = ReplicaStore()
         self._replicator: Optional[DirectoryReplicator] = None
@@ -247,6 +256,7 @@ class FlowerPeer(BasePeer):
                 process.cancel()
                 setattr(self, process_attr, None)
         if self.directory is not None:
+            self.system.unregister_directory(self, self.directory)
             if self.directory.chord is not None:
                 self.directory.chord.shutdown()
             self.directory = None
@@ -261,6 +271,8 @@ class FlowerPeer(BasePeer):
         self.peer_summaries.clear()
         self._recovering = False
         self._registering = False
+        self._shed_notices = None
+        self._shedding_members = False
         self._dir_strikes = 0
         self._reprobe_pending = False
         self._pending_pushes.clear()
@@ -374,14 +386,15 @@ class FlowerPeer(BasePeer):
             self._fetch_from_server(key, "miss_failed", started_at)
             return
 
-        def on_reply(payload: Dict[str, Any]) -> None:
+        def apply(payload: Dict[str, Any]) -> None:
             status = payload.get("status")
-            if status == "not_directory":
-                self._on_directory_failure(info)
-                self._fetch_from_server(key, "miss_failed", started_at)
+            if status == "shed":
+                redirect = payload.get("redirect")
+                if redirect is not None and redirect != self.address:
+                    self._query_redirect_instance(key, started_at, redirect)
+                else:
+                    self._fail_query(key, "shed_overload", started_at)
                 return
-            info.age = 0
-            self._note_directory_alive(info)
             if status == "provider":
                 self._fetch_provider(
                     key, payload["provider"], "hit_directory", started_at
@@ -393,12 +406,89 @@ class FlowerPeer(BasePeer):
             else:
                 self._fetch_from_server(key, "miss_server", started_at)
 
+        def on_reply(payload: Dict[str, Any]) -> None:
+            status = payload.get("status")
+            if status == "not_directory":
+                self._on_directory_failure(info)
+                self._fetch_from_server(key, "miss_failed", started_at)
+                return
+            info.age = 0
+            self._note_directory_alive(info)
+            self._after_queue_wait(payload, key, started_at, lambda: apply(payload))
+
         def on_give_up() -> None:
             self._on_directory_strike(info)
             self._fetch_from_server(key, "miss_failed", started_at)
 
         self._directory_rpc(
             info, "flower.query", {"key": key, "member": True}, on_reply, on_give_up
+        )
+
+    def _after_queue_wait(
+        self,
+        payload: Dict[str, Any],
+        key: Optional[ObjectKey],
+        started_at: Optional[float],
+        continuation: Callable[[], None],
+    ) -> None:
+        """Run *continuation* after the reply's admission-queue wait.
+
+        Transport replies are synchronous, so a directory models its
+        bounded queue by stamping ``queue_wait_ms`` on the reply: the
+        answer is in hand but only takes effect once the request's turn
+        in the queue would have come.  Replies without the stamp (the
+        default: ``directory_queue_limit == 0``) continue immediately on
+        the exact pre-queueing code path.  The deferred continuation is
+        dropped if this peer crashed or the query's ledger entry was
+        superseded during the wait.
+        """
+        wait = payload.get("queue_wait_ms")
+        if not wait:
+            continuation()
+            return
+
+        def resume() -> None:
+            if not self.alive:
+                return
+            if key is not None and self._open_queries.get(key) != started_at:
+                return
+            continuation()
+
+        self.sim.schedule(wait, resume)
+
+    def _query_redirect_instance(
+        self, key: ObjectKey, started_at: float, address: Address
+    ) -> None:
+        """One failover attempt after a shed: ask the next PetalUp instance.
+
+        The shedding directory named its successor instance (warm, under
+        ``overload_shedding`` seeded with half its members), so the member
+        retries there directly -- no D-ring scan.  A second shed, a
+        timeout, or a not-a-directory answer ends the query with the
+        terminal ``shed_overload`` outcome; there is no queue to wait in
+        twice.
+        """
+
+        def apply(payload: Dict[str, Any]) -> None:
+            status = payload.get("status")
+            if status == "provider" and payload.get("provider") is not None:
+                self._fetch_provider(
+                    key, payload["provider"], "hit_directory", started_at
+                )
+            elif status in ("shed", "not_directory"):
+                self._fail_query(key, "shed_overload", started_at)
+            else:
+                self._fetch_from_server(key, "miss_server", started_at)
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            self._after_queue_wait(payload, key, started_at, lambda: apply(payload))
+
+        self.rpc(
+            address,
+            "flower.query",
+            {"key": key, "member": True},
+            on_reply,
+            on_timeout=lambda: self._fail_query(key, "shed_overload", started_at),
         )
 
     def _ask_sibling(
@@ -539,7 +629,7 @@ class FlowerPeer(BasePeer):
             payload["register_only"] = True
             payload["keys"] = sorted(self.store.keys())
 
-        def on_reply(reply: Dict[str, Any]) -> None:
+        def apply(reply: Dict[str, Any]) -> None:
             status = reply.get("status")
             if status == "scan" and reply.get("next_address") is not None:
                 next_instance = instance + 1
@@ -554,6 +644,30 @@ class FlowerPeer(BasePeer):
                     )
                 else:
                     self._scan_failed(key, started_at)
+                return
+            if status == "shed":
+                # Rejected at the admission queue before registration.
+                # Follow the redirect down the instance chain if one
+                # exists; otherwise the query ends shed (a registration
+                # attempt simply retries later).
+                redirect = reply.get("redirect")
+                next_instance = instance + 1
+                if (
+                    redirect is not None
+                    and next_instance < self.system.params.max_instances
+                ):
+                    self._contact_directory(
+                        key,
+                        started_at,
+                        NodeRef(found.id + 1, redirect),
+                        next_instance,
+                        tries,
+                        hops,
+                    )
+                elif key is not None and started_at is not None:
+                    self._fail_query(key, "shed_overload", started_at)
+                else:
+                    self._retry_scan(key, started_at, tries)
                 return
             if status == "not_directory":
                 self._retry_scan(key, started_at, tries)
@@ -571,6 +685,9 @@ class FlowerPeer(BasePeer):
                 )
             else:
                 self._fetch_from_server(key, "miss_server", started_at, hops)
+
+        def on_reply(reply: Dict[str, Any]) -> None:
+            self._after_queue_wait(reply, key, started_at, lambda: apply(reply))
 
         params = self.system.params
         self.retrying_rpc(
@@ -958,6 +1075,7 @@ class FlowerPeer(BasePeer):
 
         def on_failed(reason: str, holder: Optional[NodeRef]) -> None:
             self._recovering = False
+            self._shed_notices = None
             role.chord.shutdown()
             role.chord = None
             if holder is not None and self.alive:
@@ -999,6 +1117,7 @@ class FlowerPeer(BasePeer):
             return
         self._attach_search(role)
         self.directory = role
+        self.system.register_directory(self, role)
         self.dir_info = None
         # Directory peers leave the content-peer gossip/keepalive loops;
         # their view and summaries live on to answer early queries
@@ -1028,6 +1147,20 @@ class FlowerPeer(BasePeer):
                 # Cold crash-replacement: win back the index from replicas
                 # instead of waiting out keepalives/pushes (section 5.3).
                 self._warm_takeover(role)
+        notices = self._shed_notices
+        if notices is not None:
+            self._shed_notices = None
+            position, members = notices
+            if position == role.position_id:
+                # Replica-aware split: the partition members learn their
+                # new directory from us, not from a failed keepalive.
+                for member in members:
+                    self.send(
+                        member,
+                        "flower.member_shed",
+                        position=role.position_id,
+                        address=self.address,
+                    )
 
     def _sweep_tick(self) -> None:
         if self.directory is None or not self.alive:
@@ -1053,6 +1186,83 @@ class FlowerPeer(BasePeer):
                 directory=self.address,
                 count=len(expired),
             )
+        params = self.system.params
+        if params.overload_shedding and role.overloaded(params.directory_load_limit):
+            self._shed_members_to_successor(role)
+
+    def _shed_members_to_successor(self, d: DirectoryRole) -> None:
+        """Replica-aware overload relief (PetalUp extension).
+
+        A sustained-overloaded instance does not wait for new clients to
+        trickle down the section-4 instance scan: it hands its excess
+        members (those above ``directory_load_limit``, highest addresses
+        first -- deterministic) straight to the already-running successor
+        instance in one transfer, then re-points each shed member at it.
+        Members only hear about the move after the successor confirmed
+        adoption, so there is no window where nobody indexes them.  With
+        no successor yet, fall back to triggering the split itself.
+        """
+        if self._shedding_members:
+            return
+        successor = self._next_instance_address(d)
+        if successor is None:
+            self._maybe_promote_next(d)
+            return
+        count = d.load - self.system.params.directory_load_limit
+        if count <= 0:
+            return
+        shed = sorted(c.address for c in d.members.contacts())[-count:]
+        entries = [
+            (address, sorted(d.member_keys.get(address, ()))) for address in shed
+        ]
+        next_position = self.system.key_service.position_id(
+            d.website, d.locality, d.instance + 1
+        )
+        self._shedding_members = True
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            self._shedding_members = False
+            if not payload.get("ok") or self.directory is not d:
+                return
+            for address in shed:
+                d.remove_member(address)
+                self.send(
+                    address,
+                    "flower.member_shed",
+                    position=next_position,
+                    address=successor,
+                )
+            d.members_shed += len(shed)
+            self.system.members_shed += len(shed)
+            if self.sim.tracing("flower.members_shed"):
+                self.sim.emit(
+                    "flower.members_shed",
+                    directory=self.address,
+                    successor=successor,
+                    count=len(shed),
+                )
+
+        def on_timeout() -> None:
+            self._shedding_members = False
+
+        self.rpc(
+            successor,
+            "flower.member_transfer",
+            {"position": next_position, "entries": entries},
+            on_reply,
+            on_timeout,
+        )
+
+    def handle_flower_member_transfer(self, message: Message) -> Dict[str, Any]:
+        """Adopt members an overloaded predecessor instance shed to us."""
+        d = self.directory
+        payload = message.payload
+        if d is None or not self.alive or d.position_id != payload["position"]:
+            return {"ok": False}
+        for address, keys in payload["entries"]:
+            if address != self.address:
+                d.add_member(address, [tuple(key) for key in keys])
+        return {"ok": True}
 
     def leave_directory_gracefully(self) -> None:
         """Voluntary departure of a directory peer (section 5.2.2): transfer
@@ -1086,6 +1296,7 @@ class FlowerPeer(BasePeer):
             heir = sample[0] if sample else None
         if role.chord is not None:
             role.chord.leave_gracefully()
+        self.system.unregister_directory(self, role)
         self.directory = None
         if self._sweep_process is not None:
             self._sweep_process.cancel()
@@ -1257,6 +1468,7 @@ class FlowerPeer(BasePeer):
         role.provisional = True
         role.chord = None
         self.directory = role
+        self.system.register_directory(self, role)
         self._attach_search(role)
         self.dir_info = None
         self._dir_strikes = 0
@@ -1465,6 +1677,7 @@ class FlowerPeer(BasePeer):
         if role.chord is not None:
             role.chord.shutdown()
             role.chord = None
+        self.system.unregister_directory(self, role)
         self.directory = None
         if self._sweep_process is not None:
             self._sweep_process.cancel()
@@ -1615,11 +1828,46 @@ class FlowerPeer(BasePeer):
                 self._push_to_directory()
         return None
 
+    def handle_flower_member_shed(self, message: Message) -> None:
+        """Our overloaded directory shed us to another instance: re-point
+        dir-info at it and re-push so its index reflects our cache."""
+        if not self.alive or self.directory is not None or self._recovering:
+            return None
+        payload = message.payload
+        new_address = payload["address"]
+        if new_address == self.address:
+            return None
+        info = self.dir_info
+        if (
+            info is not None
+            and info.address == new_address
+            and info.position_id == payload["position"]
+        ):
+            return None  # already pointed there
+        self.dir_info = DirInfo(payload["position"], new_address, age=0)
+        self._dir_strikes = 0
+        self._reprobe_pending = False
+        self._pending_pushes.clear()
+        self._start_content_processes()
+        self.store.reset_push_state()
+        if len(self.store):
+            self._push_to_directory()
+        return None
+
     # =====================================================================
     # Message handlers (directory side)
     # =====================================================================
     def handle_flower_query(self, message: Message) -> Dict[str, Any]:
-        """Directory-side query processing (sections 3.2 and 4)."""
+        """Directory-side query processing (sections 3.2 and 4).
+
+        With ``directory_queue_limit > 0`` every non-foreign request first
+        passes the bounded admission queue: a request finding the virtual
+        backlog at the limit is **shed** with an explicit status (plus a
+        redirect to the next instance when one exists) instead of piling
+        up, and an admitted request's reply carries the queue wait it
+        owes its client.  With the limit at 0 none of this code runs and
+        replies are byte-identical to the ungated build.
+        """
         d = self.directory
         if d is None:
             return {"status": "not_directory"}
@@ -1627,7 +1875,62 @@ class FlowerPeer(BasePeer):
         key = tuple(payload["key"]) if payload.get("key") is not None else None
         d.queries_handled += 1
         params = self.system.params
+        queue_wait_ms = 0.0
+        if params.directory_queue_limit > 0 and not payload.get("foreign"):
+            admitted, queue_wait_ms, depth = d.admit(
+                self.sim.now,
+                params.directory_service_ms,
+                params.directory_queue_limit,
+            )
+            if not admitted:
+                return self._shed_query(d, message.src, key, depth)
+        reply = self._process_query(d, message, payload, key, params)
+        if queue_wait_ms > 0.0:
+            reply["queue_wait_ms"] = queue_wait_ms
+        return reply
 
+    def _shed_query(
+        self,
+        d: DirectoryRole,
+        client: Address,
+        key: Optional[ObjectKey],
+        depth: int,
+    ) -> Dict[str, Any]:
+        """Reject one request at the admission limit (explicit, accounted).
+
+        The reply names the next instance when the key service knows one,
+        so the client can fail over without a ring scan.  Under
+        ``overload_shedding`` a shed also nudges the PetalUp split: a
+        queue at its bound is the rate-based overload signal the paper's
+        member-count test cannot see.
+        """
+        self.system.shed_queries += 1
+        redirect = self._next_instance_address(d)
+        if self.sim.tracing("flower.query_shed"):
+            self.sim.emit(
+                "flower.query_shed",
+                directory=self.address,
+                client=client,
+                key=key,
+                position=d.position_id,
+                depth=depth,
+                redirect=redirect,
+            )
+        if self.system.params.overload_shedding:
+            self._maybe_promote_next(d)
+        reply: Dict[str, Any] = {"status": "shed"}
+        if redirect is not None:
+            reply["redirect"] = redirect
+        return reply
+
+    def _process_query(
+        self,
+        d: DirectoryRole,
+        message: Message,
+        payload: Dict[str, Any],
+        key: Optional[ObjectKey],
+        params,
+    ) -> Dict[str, Any]:
         if payload.get("foreign"):
             # A sibling directory's miss (collaboration): answer from our
             # index/store only; no registration.  On a miss, point the
@@ -1748,7 +2051,17 @@ class FlowerPeer(BasePeer):
         return None
 
     def _maybe_promote_next(self, d: DirectoryRole) -> None:
-        """PetalUp split: ask one of our content peers to become d_{i+1}."""
+        """PetalUp split: ask one of our content peers to become d_{i+1}.
+
+        Under ``overload_shedding`` the split is *replica-aware*: instead
+        of standing up an empty instance that new clients discover one
+        section-4 scan at a time, the promotion payload carries a member
+        **partition** (every second member, in address order) in the warm
+        snapshot format of section 5.3.  The new instance adopts it before
+        joining the ring and, once active, tells each partition member to
+        re-point at it -- so both instances start half-loaded and no
+        member ever scans.
+        """
         if d.promoting or d.instance + 1 >= self.system.params.max_instances:
             return
         candidates = d.member_sample(self.rng, 1)
@@ -1759,12 +2072,24 @@ class FlowerPeer(BasePeer):
         next_position = self.system.key_service.position_id(
             d.website, d.locality, d.instance + 1
         )
+        partition: List[Address] = []
+        if self.system.params.overload_shedding:
+            partition = sorted(
+                c.address for c in d.members.contacts() if c.address != target
+            )[1::2]
 
         def on_reply(payload: Dict[str, Any]) -> None:
             if payload.get("accepted"):
                 # "The replacing content peer is then removed from the
                 # directory-index of d_i" (section 4).
                 d.remove_member(target)
+                for member in partition:
+                    # Optimistic: the new instance notifies the members
+                    # once active; until then their keepalives simply
+                    # re-add them here (self-healing either way).
+                    d.remove_member(member)
+                d.members_shed += len(partition)
+                self.system.members_shed += len(partition)
             # Allow another attempt later either way; if the promotion
             # succeeded our successor pointer will show it.
             self.sim.schedule(
@@ -1785,24 +2110,49 @@ class FlowerPeer(BasePeer):
             # Seed the new instance with a warm copy of our own index so a
             # split starts with full knowledge of the petal (section 5.3).
             payload["replica"] = full_sync_payload(d, self.address)
+        if partition:
+            ages = {c.address: c.age for c in d.members.contacts()}
+            payload["partition"] = {
+                "version": 0,
+                "members": [(member, ages.get(member, 0)) for member in partition],
+                "member_keys": {
+                    member: sorted(d.member_keys.get(member, ()))
+                    for member in partition
+                    if d.member_keys.get(member)
+                },
+            }
         self.rpc(target, "flower.promote", payload, on_reply, on_timeout)
 
     def _reset_promoting(self, d: DirectoryRole) -> None:
         d.promoting = False
 
     def handle_flower_promote(self, message: Message) -> Dict[str, Any]:
-        """A directory asks us to become the next instance (PetalUp)."""
+        """A directory asks us to become the next instance (PetalUp).
+
+        A ``partition`` in the payload (replica-aware split, overload
+        extension) is adopted as our starting snapshot, and its members
+        are notified to re-point at us once the role is actually active
+        -- notifying earlier would race their pushes against our ring
+        join.
+        """
         if self.directory is not None or self._recovering or not self.alive:
             return {"accepted": False}
         payload = message.payload
         replica = payload.get("replica")
         if replica is not None and self._replication_on:
             self.replica_store.accept(replica, self.sim.now)
+        partition = payload.get("partition")
+        if partition is not None and self.system.params.overload_shedding:
+            self._shed_notices = (
+                payload["position"],
+                [address for address, _age in partition.get("members", [])],
+            )
         self._begin_directory_role(
             payload["website"],
             payload["locality"],
             payload["instance"],
             payload["position"],
+            snapshot=partition if self.system.params.overload_shedding else None,
         )
         return {"accepted": True}
 
@@ -1836,7 +2186,10 @@ class FlowerPeer(BasePeer):
     def handle_flower_fetch(self, message: Message) -> Dict[str, Any]:
         """Serve an object from our cache to a petal member."""
         key = tuple(message.payload["key"])
-        return {"ok": key in self.store}
+        ok = key in self.store
+        if ok:
+            self.fetches_served += 1
+        return {"ok": ok}
 
     def handle_flower_push(self, message: Message) -> Dict[str, Any]:
         """Apply a member's content push to the directory-index."""

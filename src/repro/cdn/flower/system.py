@@ -66,6 +66,34 @@ class FlowerSystem(CdnSystem):
         #: chaos auditor -- distinguish silent expiry from crash-driven
         #: removal when accounting recovery behaviour.
         self.expired_members = 0
+        #: Overload extension totals (survive role teardown, unlike the
+        #: per-role counters): queries rejected at an admission queue and
+        #: members handed to a successor instance by replica-aware sheds.
+        self.shed_queries = 0
+        self.members_shed = 0
+        #: Live directory registry: ``(website, locality) -> {address:
+        #: peer}``, maintained at every directory-role transition so
+        #: per-petal questions (instance counts, petal sizes, overload
+        #: reports) are O(instances) instead of a population scan.
+        self._directory_registry: dict = {}
+
+    # ------------------------------------------------------------- registry
+    def register_directory(self, peer: FlowerPeer, role: DirectoryRole) -> None:
+        """A peer started serving *role* (ring-integrated or provisional)."""
+        slot = self._directory_registry.setdefault((role.website, role.locality), {})
+        slot[peer.address] = peer
+
+    def unregister_directory(self, peer: FlowerPeer, role: DirectoryRole) -> None:
+        """A peer stopped serving *role* (crash, demotion, graceful leave)."""
+        slot = self._directory_registry.get((role.website, role.locality))
+        if slot is not None:
+            slot.pop(peer.address, None)
+            if not slot:
+                del self._directory_registry[(role.website, role.locality)]
+
+    def directory_instances(self, website: int, locality: int) -> dict:
+        """Live ``{address: peer}`` of one petal's directory instances."""
+        return self._directory_registry.get((website, locality), {})
 
     # ---------------------------------------------------------------- peers
     def _make_peer(self, identity: int) -> BasePeer:
@@ -129,7 +157,7 @@ class FlowerSystem(CdnSystem):
     def petal_size(self, website: int, locality: int) -> int:
         """Members across all directory instances of one petal."""
         total = 0
-        for peer in self.peers.values():
+        for peer in self.directory_instances(website, locality).values():
             d = peer.directory
             if (
                 peer.alive
@@ -139,6 +167,58 @@ class FlowerSystem(CdnSystem):
             ):
                 total += d.load
         return total
+
+    def overload_stats(self) -> dict:
+        """Admission-queue and shedding activity plus load-balance inputs.
+
+        All-zero / empty when the overload extension is off (no queue
+        limit, no shedding, no open-loop traffic).  The per-directory and
+        per-peer value lists feed the Gini computations of the cloud-heavy
+        benchmark; ``instances`` maps ``"website:locality"`` to the number
+        of live directory instances serving that petal.
+        """
+        stats: dict = {
+            "queries_shed": self.shed_queries,
+            "members_shed": self.members_shed,
+            "directories": 0,
+            "peak_queue_depth": 0,
+            "directory_loads": [],
+            "directory_queries": [],
+            "directory_sheds": [],
+            "directory_detail": {},
+            "content_fetches": [],
+            "instances": {},
+        }
+        for (website, locality), slot in sorted(self._directory_registry.items()):
+            live = 0
+            for address in sorted(slot):
+                peer = slot[address]
+                d = peer.directory
+                if not peer.alive or d is None:
+                    continue
+                live += 1
+                stats["directories"] += 1
+                stats["directory_loads"].append(d.load)
+                stats["directory_queries"].append(d.queries_handled)
+                stats["directory_sheds"].append(d.queries_shed)
+                # Keyed form so callers can diff two snapshots and get
+                # per-window, per-petal query shares (the benches' Gini
+                # inputs).
+                stats["directory_detail"][peer.address] = {
+                    "website": website,
+                    "locality": locality,
+                    "load": d.load,
+                    "queries": d.queries_handled,
+                    "sheds": d.queries_shed,
+                }
+                if d.peak_queue_depth > stats["peak_queue_depth"]:
+                    stats["peak_queue_depth"] = d.peak_queue_depth
+            if live:
+                stats["instances"][f"{website}:{locality}"] = live
+        for peer in self.peers.values():
+            if peer.alive and peer.directory is None:
+                stats["content_fetches"].append(peer.fetches_served)
+        return stats
 
     def replication_stats(self) -> dict:
         """Aggregate replication activity across the live population.

@@ -55,9 +55,15 @@ class PetalUpSystem(FlowerSystem):
 
     # ------------------------------------------------------------- reports
     def instance_count(self, website: int, locality: int) -> int:
-        """How many directory instances currently serve one petal."""
+        """How many directory instances currently serve one petal.
+
+        O(instances) via the live directory registry the base system
+        maintains at every role transition -- callers poll this inside
+        simulation loops, where the previous full population scan was the
+        dominant cost.
+        """
         count = 0
-        for peer in self.peers.values():
+        for peer in self.directory_instances(website, locality).values():
             d = peer.directory
             if (
                 peer.alive

@@ -26,6 +26,12 @@ I7 **search availability** -- with replicated posting lists
    unanswered searches), and replica-served results never exceed the
    declared staleness bound of
    :func:`repro.cdn.flower.search.staleness_bound_ms`.
+I8 **shed accounting** -- a ``flower.query_shed`` for a keyed member
+   query must refer to a query that is actually *open* in the ledger (a
+   shed reported after the query already terminated would mean the
+   directory rejected work nobody was waiting for), and I1 then
+   guarantees the shed query still terminates exactly once -- shedding
+   under overload never loses a query.
 
 Zero cost when absent: all observation happens through subscriber-gated
 trace kinds plus an explicitly scheduled audit tick -- a run without an
@@ -70,6 +76,8 @@ WATCHED_KINDS = (
     "flower.directory_demoted",
     "flower.directory_provisional",
     "flower.member_expired",
+    "flower.members_shed",
+    "flower.query_shed",
     "flower.search_done",
 )
 
@@ -187,6 +195,8 @@ class InvariantAuditor:
             "searches_unanswered": 0,
             "search_replica_served": 0,
             "search_stale_max_ms": 0,
+            "queries_shed": 0,
+            "members_shed": 0,
         }
         #: reacquire durations (ms) of observed directory slot recoveries.
         self.reacquire_times_ms: List[float] = []
@@ -194,6 +204,9 @@ class InvariantAuditor:
         # --- ledger ---
         self._open: Dict[Tuple[int, tuple], float] = {}
         self._leak_reported: Set[Tuple[int, tuple]] = set()
+        #: every (peer, key) that ever terminated -- lets I8 tell a shed
+        #: racing a just-closed query apart from a fabricated one.
+        self._ever_closed: Set[Tuple[int, tuple]] = set()
         # --- trace window (context for reproducer bundles) ---
         self._window: Deque[TraceEvent] = deque(maxlen=cfg.trace_window)
         # --- fault context ---
@@ -239,6 +252,8 @@ class InvariantAuditor:
             "fault.partition_heal": self._on_partition_edge,
             "fault.mass_failure": self._on_disturbance,
             "flower.directory_active": self._on_directory_active,
+            "flower.members_shed": self._on_members_shed,
+            "flower.query_shed": self._on_query_shed,
             "flower.search_done": self._on_search_done,
             "chord.join": self._on_ring_change,
             "chord.shutdown": self._on_ring_change,
@@ -283,7 +298,33 @@ class InvariantAuditor:
             )
             return
         self._leak_reported.discard(key)
+        self._ever_closed.add(key)
         self.stats["queries_closed"] += 1
+
+    # ------------------------------------------------ I8: shed accounting
+    def _on_query_shed(self, event: TraceEvent) -> None:
+        self.stats["queries_shed"] += 1
+        raw_key = event.payload.get("key")
+        if raw_key is None:
+            return  # register-only scan shed: no query ledger entry owed
+        key = (event.payload["client"], tuple(raw_key))
+        if key not in self._open and key not in self._ever_closed:
+            # The directory shed a keyed query its client never issued:
+            # fabricated work.  A shed for a *recently closed* entry is
+            # tolerated (a retried request can arrive after its client
+            # timed out and failed over); closure of open sheds is I1's
+            # job either way.
+            self._violation(
+                "shed_unaccounted",
+                subject=key,
+                details={
+                    "directory": event.payload.get("directory"),
+                    "depth": event.payload.get("depth"),
+                },
+            )
+
+    def _on_members_shed(self, event: TraceEvent) -> None:
+        self.stats["members_shed"] += int(event.payload.get("count", 0))
 
     def _on_query_stale(self, event: TraceEvent) -> None:
         # Informational: a suppressed stale completion is the ledger

@@ -26,6 +26,17 @@ Phase menu (weights scale with ``intensity``):
                     directories that must reconcile with the surviving
                     ring registrants at the heal (section 5.3)
 ==================  =====================================================
+
+Opt-in (``generate_plan(..., overload=True)``, off by default so existing
+chaos seeds keep generating byte-identical plans):
+
+==================      =================================================
+``sustained_overload``  a long open-loop traffic plateau well above the
+                        directories' service capacity, regionally
+                        correlated; exercises the bounded admission queue
+                        and replica-aware shedding (requires a config
+                        with ``openloop_rate_qps > 0``)
+==================      =================================================
 """
 
 from __future__ import annotations
@@ -76,6 +87,37 @@ class ChurnSurgeSpec:
 
 
 @dataclass(frozen=True)
+class OverloadSurgeSpec:
+    """A sustained open-loop overload window (chaos overload phases).
+
+    The runner converts this into a
+    :class:`~repro.workload.openloop.RegionalSurge` on the world's
+    open-loop workload: arrivals ramp to ``peak_multiplier`` times the
+    base rate over ``ramp_ms``, hold-and-decay with time constant
+    ``decay_ms`` after the ramp, optionally pinned to one locality and
+    one hot website.  Inert when the config runs no open-loop traffic.
+
+    Attributes:
+        start_ms / ramp_ms / peak_multiplier / decay_ms: surge shape.
+        locality: locality the overload concentrates in (None = all).
+        hot_website: website the overload targets (None = no bias).
+    """
+
+    start_ms: float
+    ramp_ms: float
+    peak_multiplier: float
+    decay_ms: float
+    locality: Optional[int] = None
+    hot_website: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.peak_multiplier < 1.0:
+            raise ConfigError("overload peak multiplier must be >= 1")
+        if self.ramp_ms <= 0 or self.decay_ms <= 0:
+            raise ConfigError("overload ramp and decay must be positive")
+
+
+@dataclass(frozen=True)
 class ChaosPhase:
     """One labelled segment of the plan's timeline (for humans and the
     auditor's context; the actual injection lives in the specs)."""
@@ -96,6 +138,7 @@ _SPEC_TYPES = {
     "latency_spike": LatencySpikeSpec,
     "mass_failure": MassFailureSpec,
     "churn_surge": ChurnSurgeSpec,
+    "overload_surge": OverloadSurgeSpec,
     "chaos_phase": ChaosPhase,
 }
 _SPEC_NAMES = {cls: name for name, cls in _SPEC_TYPES.items()}
@@ -132,6 +175,8 @@ class ChaosPlan:
         horizon_ms: intended experiment length.
         faults: the :mod:`repro.net.faults` specs to install.
         surges: extra-arrival bursts (churn bursts, flash crowds).
+        overload_surges: sustained open-loop overload windows (installed
+            on the world's open-loop workload; empty for classic plans).
         phases: the labelled timeline (emitted as ``chaos.phase`` events).
     """
 
@@ -140,6 +185,7 @@ class ChaosPlan:
     horizon_ms: float
     faults: Tuple[Any, ...] = ()
     surges: Tuple[ChurnSurgeSpec, ...] = ()
+    overload_surges: Tuple[OverloadSurgeSpec, ...] = ()
     phases: Tuple[ChaosPhase, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -149,12 +195,16 @@ class ChaosPlan:
             object.__setattr__(self, "faults", tuple(self.faults))
         if not isinstance(self.surges, tuple):
             object.__setattr__(self, "surges", tuple(self.surges))
+        if not isinstance(self.overload_surges, tuple):
+            object.__setattr__(
+                self, "overload_surges", tuple(self.overload_surges)
+            )
         if not isinstance(self.phases, tuple):
             object.__setattr__(self, "phases", tuple(self.phases))
 
     # ------------------------------------------------------------ serialize
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "schema": PLAN_SCHEMA,
             "name": self.name,
             "chaos_seed": self.chaos_seed,
@@ -163,6 +213,13 @@ class ChaosPlan:
             "surges": [spec_to_dict(s) for s in self.surges],
             "phases": [spec_to_dict(p) for p in self.phases],
         }
+        if self.overload_surges:
+            # Only stamped when present, so classic plans serialize
+            # byte-identically to the pre-overload schema.
+            data["overload_surges"] = [
+                spec_to_dict(s) for s in self.overload_surges
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ChaosPlan":
@@ -175,6 +232,9 @@ class ChaosPlan:
             horizon_ms=data["horizon_ms"],
             faults=tuple(spec_from_dict(s) for s in data.get("faults", ())),
             surges=tuple(spec_from_dict(s) for s in data.get("surges", ())),
+            overload_surges=tuple(
+                spec_from_dict(s) for s in data.get("overload_surges", ())
+            ),
             phases=tuple(spec_from_dict(p) for p in data.get("phases", ())),
         )
 
@@ -204,6 +264,7 @@ def generate_plan(
     intensity: float = 1.0,
     population: int = 120,
     name: Optional[str] = None,
+    overload: bool = False,
 ) -> ChaosPlan:
     """Compose a randomized chaos plan from its own RNG stream.
 
@@ -214,6 +275,11 @@ def generate_plan(
     bursty-loss window is generated (the controller keeps one Gilbert-
     Elliott chain at a time).
 
+    ``overload=True`` adds ``sustained_overload`` to the menu (module
+    docstring); it is opt-in because extending the menu reshuffles every
+    draw -- the default keeps historical ``chaos_seed`` values generating
+    exactly the plans they always did.
+
     Determinism: the plan is a pure function of the arguments; the RNG is
     ``random.Random(f"chaos:{chaos_seed}")``, decoupled from every
     simulation stream.
@@ -223,11 +289,15 @@ def generate_plan(
     if not 0.1 <= intensity <= 10.0:
         raise ConfigError("intensity must be in [0.1, 10]")
     rng = random.Random(f"chaos:{chaos_seed}")
-    kinds = [k for k, _ in _PHASE_WEIGHTS]
-    weights = [w for _, w in _PHASE_WEIGHTS]
+    menu = _PHASE_WEIGHTS
+    if overload:
+        menu = menu + (("sustained_overload", 2.0),)
+    kinds = [k for k, _ in menu]
+    weights = [w for _, w in menu]
 
     faults: List[Any] = []
     surges: List[ChurnSurgeSpec] = []
+    overload_surges: List[OverloadSurgeSpec] = []
     phases: List[ChaosPhase] = []
     used_bursty = False
 
@@ -338,6 +408,24 @@ def generate_plan(
                     hot_interest_probability=0.8,
                 )
             )
+        elif kind == "sustained_overload":
+            # A long plateau, not a blip: the ramp is a small fraction of
+            # the phase and the decay constant stretches past its end, so
+            # the admission queues stay saturated for most of the window.
+            overload_surges.append(
+                OverloadSurgeSpec(
+                    start_ms=start,
+                    ramp_ms=max(minutes(1.0), duration * 0.15),
+                    peak_multiplier=1.0 + intensity * rng.uniform(1.5, 3.0),
+                    decay_ms=duration * 0.5,
+                    locality=rng.randrange(num_localities)
+                    if rng.random() < 0.5
+                    else None,
+                    hot_website=rng.randrange(num_websites)
+                    if rng.random() < 0.5
+                    else None,
+                )
+            )
         # "calm": inject nothing; the phase label alone documents the gap.
 
         phases.append(ChaosPhase(kind, start, end))
@@ -350,5 +438,6 @@ def generate_plan(
         horizon_ms=horizon_ms,
         faults=tuple(faults),
         surges=tuple(surges),
+        overload_surges=tuple(overload_surges),
         phases=tuple(phases),
     )

@@ -25,7 +25,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.chaos.auditor import AuditorConfig, InvariantAuditor, Violation
-from repro.chaos.plan import ChaosPlan, ChurnSurgeSpec, spec_from_dict, spec_to_dict
+from repro.chaos.plan import (
+    ChaosPlan,
+    ChurnSurgeSpec,
+    OverloadSurgeSpec,
+    spec_from_dict,
+    spec_to_dict,
+)
 from repro.errors import CDNError, ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ExperimentResult
@@ -115,11 +121,19 @@ class ChaosRunReport:
                 f"search={answered}/{issued} "
                 f"stale_max={self.stats.get('search_stale_max_ms', 0)}ms "
             )
+        shed = ""
+        shed_count = self.stats.get("queries_shed", 0)
+        if shed_count:
+            shed = (
+                f"shed={shed_count} "
+                f"members_shed={self.stats.get('members_shed', 0)} "
+            )
         return (
             f"[{self.protocol}] plan={self.plan.name} seed={self.seed} "
             f"audits={self.stats.get('audits', 0)} "
             f"queries={self.stats.get('queries_opened', 0)} "
             f"{search}"
+            f"{shed}"
             f"hit_ratio={self.result.hit_ratio:.4f} -> {status}"
         )
 
@@ -181,6 +195,36 @@ def _install_surges(world: World, surges: Tuple[ChurnSurgeSpec, ...]) -> None:
                 surge.hot_website,
                 surge.hot_interest_probability,
             )
+
+
+def _install_overload_surges(
+    world: World, specs: Tuple[OverloadSurgeSpec, ...]
+) -> None:
+    """Register the plan's sustained-overload windows with the world's
+    open-loop workload.
+
+    The specs convert directly into
+    :class:`~repro.workload.openloop.RegionalSurge` shapes (absolute
+    simulation-time windows, so no scheduling is needed).  A config
+    without open-loop traffic has no workload to overload; the surges are
+    then inert, which keeps replaying old bundles against odd configs
+    from crashing mid-flight.
+    """
+    if not specs or world.openloop is None:
+        return
+    from repro.workload.openloop import RegionalSurge
+
+    for spec in specs:
+        world.openloop.add_surge(
+            RegionalSurge(
+                start_ms=spec.start_ms,
+                ramp_ms=spec.ramp_ms,
+                peak_multiplier=spec.peak_multiplier,
+                decay_ms=spec.decay_ms,
+                locality=-1 if spec.locality is None else spec.locality,
+                hot_website=-1 if spec.hot_website is None else spec.hot_website,
+            )
+        )
 
 
 def _install_phase_markers(world: World, plan: ChaosPlan) -> None:
@@ -278,6 +322,7 @@ def run_chaos(
     )
     _install_phase_markers(world, plan)
     _install_surges(world, plan.surges)
+    _install_overload_surges(world, plan.overload_surges)
     world.run()
     auditor.finalize()
     system = world.system
@@ -291,6 +336,11 @@ def run_chaos(
     }
     if world.faults is not None:
         extra["fault_stats"] = dict(world.faults.stats)
+    if world.openloop is not None:
+        extra["openloop"] = dict(world.openloop.stats)
+        overload_stats = getattr(system, "overload_stats", None)
+        if overload_stats is not None:
+            extra["overload"] = overload_stats()
     result = ExperimentResult.from_metrics(
         protocol=protocol,
         seed=seed,

@@ -223,6 +223,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         # the auditor's I7 (search availability / staleness) has traffic
         # to judge.  Off by default: search changes the trace stream.
         config = config.replace(search_keywords=24, search_probe_period_s=45.0)
+    overload = getattr(args, "overload", False)
+    if overload:
+        # Overload lanes: open-loop traffic that can saturate directories,
+        # bounded admission queues, and replica-aware shedding, plus the
+        # sustained_overload phase in the plan menu so the auditor's I8
+        # (shed accounting) has pressure to judge.  Off by default: the
+        # open-loop stream changes every trace.
+        config = config.replace(
+            openloop_rate_qps=max(1.0, config.population / 20.0),
+            directory_queue_limit=16,
+            directory_service_ms=40.0,
+            overload_shedding=True,
+        )
     workers = getattr(args, "workers", 1)
     if workers != 1:
         # Validate the shape up front so a bad worker count fails before
@@ -246,6 +259,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             num_websites=config.num_websites,
             intensity=args.intensity,
             population=config.population,
+            overload=overload,
         )
         if workers != 1:
             from repro.experiments.sharded import run_sharded_experiment
@@ -339,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.add_argument(
         "--halt", action="store_true", help="stop at the first violation"
+    )
+    chaos_parser.add_argument(
+        "--overload",
+        action="store_true",
+        help=(
+            "add sustained open-loop overload: saturating traffic, bounded "
+            "directory admission queues, replica-aware shedding, and the "
+            "sustained_overload phase in the generated plans"
+        ),
     )
     chaos_parser.add_argument(
         "--search",

@@ -76,6 +76,28 @@ class ExperimentConfig:
             runner through a :class:`~repro.net.faults.FaultController`
             on its own deterministic RNG stream.  Empty = no injected
             faults (uniform ``message_loss_rate`` still applies).
+        openloop_rate_qps: aggregate open-loop arrival rate (queries per
+            second across the whole system) of the overload workload
+            (:mod:`repro.workload.openloop`).  0 = off, the default: the
+            closed-loop per-peer query process of Table 1 is the only
+            traffic and runs stay bit-identical to the goldens.
+        openloop_diurnal_amplitude: relative amplitude in [0, 1) of the
+            sinusoidal diurnal modulation of the open-loop rate.
+        openloop_diurnal_period_hours: period of that diurnal cycle.
+        openloop_surges: regionally-correlated flash crowds riding the
+            open-loop process -- a tuple of plain-number tuples
+            ``(start_ms, ramp_ms, peak_multiplier, decay_ms, locality,
+            hot_website, hot_probability)`` (``locality``/``hot_website``
+            of -1 mean "all"/"none"); kept as primitives so configs stay
+            hashable and JSON-serializable (chaos reproducer bundles).
+        directory_queue_limit: bounded per-directory admission queue
+            depth (0 = off -- no admission control, the paper's
+            unbounded behaviour).
+        directory_service_ms: virtual service time per admitted
+            directory request (read only with a queue limit).
+        overload_shedding: replica-aware PetalUp splits and direct
+            member shedding to the warm ring successor (off = the
+            paper's empty-view split + instance scan).
     """
 
     population: int = 3000
@@ -108,6 +130,13 @@ class ExperimentConfig:
     search_keywords: int = 0
     search_probe_period_s: float = 0.0
     fault_schedule: tuple = ()
+    openloop_rate_qps: float = 0.0
+    openloop_diurnal_amplitude: float = 0.0
+    openloop_diurnal_period_hours: float = 24.0
+    openloop_surges: tuple = ()
+    directory_queue_limit: int = 0
+    directory_service_ms: float = 40.0
+    overload_shedding: bool = False
 
     def __post_init__(self) -> None:
         if self.rpc_retries < 0:
@@ -125,6 +154,29 @@ class ExperimentConfig:
         if not isinstance(self.fault_schedule, tuple):
             # Keep the config hashable (benchmark caches key on it).
             object.__setattr__(self, "fault_schedule", tuple(self.fault_schedule))
+        if self.openloop_rate_qps < 0:
+            raise ConfigError("openloop_rate_qps must be >= 0")
+        if not 0.0 <= self.openloop_diurnal_amplitude < 1.0:
+            raise ConfigError("openloop_diurnal_amplitude must be in [0, 1)")
+        if self.openloop_diurnal_period_hours <= 0:
+            raise ConfigError("openloop_diurnal_period_hours must be positive")
+        if not isinstance(self.openloop_surges, tuple):
+            object.__setattr__(
+                self,
+                "openloop_surges",
+                tuple(tuple(surge) for surge in self.openloop_surges),
+            )
+        for surge in self.openloop_surges:
+            if len(surge) != 7:
+                raise ConfigError(
+                    "openloop_surges entries are (start_ms, ramp_ms, "
+                    "peak_multiplier, decay_ms, locality, hot_website, "
+                    "hot_probability)"
+                )
+        if self.directory_queue_limit < 0:
+            raise ConfigError("directory_queue_limit must be >= 0")
+        if self.directory_service_ms <= 0:
+            raise ConfigError("directory_service_ms must be positive")
         if self.population < 1:
             raise ConfigError("population must be positive")
         if not 0.0 <= self.message_loss_rate < 1.0:
@@ -171,6 +223,9 @@ class ExperimentConfig:
             rpc_retries=self.rpc_retries,
             replication_k=self.directory_replication_k,
             replication_anti_entropy_rounds=self.directory_replication_anti_entropy,
+            directory_queue_limit=self.directory_queue_limit,
+            directory_service_ms=self.directory_service_ms,
+            overload_shedding=self.overload_shedding,
             dring=RingParams(
                 bits=self.chord_bits,
                 successor_list_size=self.chord_successor_list,

@@ -36,6 +36,7 @@ from repro.sim.clock import minutes, seconds
 from repro.sim.engine import Simulator
 from repro.workload.catalog import Catalog
 from repro.workload.churn import ChurnModel
+from repro.workload.openloop import ArrivalProfile, OpenLoopWorkload
 
 #: protocol name -> system class
 PROTOCOLS = {
@@ -60,6 +61,7 @@ class World:
     config: ExperimentConfig
     faults: Optional[FaultController] = None
     search_probes: Optional[SearchProbeWorkload] = None
+    openloop: Optional[OpenLoopWorkload] = None
 
     def run(self, until_ms: Optional[float] = None) -> None:
         """Advance the simulation (defaults to the configured horizon)."""
@@ -164,6 +166,14 @@ def build_world(
     for identity in getattr(system, "seed_identities", []):
         churn.seed_online(identity)
     churn.start()
+    openloop: Optional[OpenLoopWorkload] = None
+    profile = ArrivalProfile.from_config(config)
+    if profile is not None:
+        # Open-loop overload traffic (own "openloop" RNG stream).  A rate
+        # of zero builds nothing: no events, no draws, golden streams
+        # untouched.
+        openloop = OpenLoopWorkload(sim, system, profile)
+        openloop.start()
     faults: Optional[FaultController] = None
     if config.fault_schedule:
         # Dedicated "faults" RNG stream: injecting faults perturbs no other
@@ -184,6 +194,7 @@ def build_world(
         config=config,
         faults=faults,
         search_probes=search_probes,
+        openloop=openloop,
     )
 
 
@@ -226,6 +237,14 @@ def run_experiment(
     if isinstance(system, FlowerSystem):
         extra["directories"] = system.directory_count()
         extra["expired_members"] = system.expired_members
+        if (
+            config.openloop_rate_qps > 0
+            or config.directory_queue_limit > 0
+            or config.overload_shedding
+        ):
+            extra["overload"] = system.overload_stats()
+    if world.openloop is not None:
+        extra["openloop"] = dict(world.openloop.stats)
     if isinstance(system, SquirrelSystem):
         extra["ring_size"] = system.ring_size()
     if isinstance(system, HomeStoreSquirrelSystem):

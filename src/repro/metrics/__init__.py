@@ -14,11 +14,14 @@ The paper evaluates with three metrics:
 Figure 3; :mod:`repro.metrics.distribution` produces the bucketed latency /
 distance distributions of Figures 4 and 5; :mod:`repro.metrics.report`
 renders Table-2-style text tables; :mod:`repro.metrics.recovery` measures
-availability and time-to-recover in fault-injection experiments.
+availability and time-to-recover in fault-injection experiments;
+:mod:`repro.metrics.loadbalance` summarises how evenly load spreads
+(Gini coefficient) for the overload reports.
 """
 
 from repro.metrics.collector import MetricsCollector, QueryRecord
 from repro.metrics.distribution import Distribution
+from repro.metrics.loadbalance import gini
 from repro.metrics.overhead import OverheadReport
 from repro.metrics.recovery import PhaseStats, RecoveryReport, track_issued_queries
 from repro.metrics.report import render_table
@@ -34,4 +37,5 @@ __all__ = [
     "RecoveryReport",
     "track_issued_queries",
     "render_table",
+    "gini",
 ]

@@ -27,13 +27,21 @@ outcome             meaning                                        P2P hit?
 ``failed_unreach.`` even the origin server was unreachable
                     (partition / loss burst exhausted the fetch
                     retry budget)                                 n/a
+``shed_overload``   the directory's bounded admission queue was
+                    full and the query was explicitly shed
+                    (overload robustness extension; only occurs
+                    with ``directory_queue_limit > 0``)           n/a
 ==================  ============================================== =========
 
-Failed outcomes are *terminal but not served*: they close the query's
-lifecycle (every query terminates exactly once -- the chaos auditor's
-ledger invariant) without entering the paper's hit/miss economy.  The
-hit ratio and the latency/transfer distributions are computed over
-served queries only, so fault-free runs are numerically unchanged.
+Failed and shed outcomes are *terminal but not served*: they close the
+query's lifecycle (every query terminates exactly once -- the chaos
+auditor's ledger invariant) without entering the paper's hit/miss
+economy.  The hit ratio and the latency/transfer distributions are
+computed over served queries only, so fault-free runs are numerically
+unchanged.  Shed queries are kept distinct from failures because they
+are a deliberate *admission decision* under overload, not a fault: the
+overload benches report them as lost goodput, the auditor checks every
+one of them is terminally accounted.
 """
 
 from __future__ import annotations
@@ -57,10 +65,15 @@ MISS_OUTCOMES = frozenset({"miss_server", "miss_failed"})
 #: latency/transfer distributions.
 FAILED_OUTCOMES = frozenset({"failed_crash", "failed_unreachable"})
 
+#: Queries explicitly rejected by a full directory admission queue
+#: (overload extension).  Terminal but neither served nor failed: a shed
+#: is a deliberate load-control decision, accounted separately.
+SHED_OUTCOMES = frozenset({"shed_overload"})
+
 #: Outcomes that entered the paper's hit/miss economy (served queries).
 SERVED_OUTCOMES = HIT_OUTCOMES | MISS_OUTCOMES
 
-ALL_OUTCOMES = SERVED_OUTCOMES | FAILED_OUTCOMES
+ALL_OUTCOMES = SERVED_OUTCOMES | FAILED_OUTCOMES | SHED_OUTCOMES
 
 
 class QueryRecord(NamedTuple):
@@ -131,6 +144,11 @@ class MetricsCollector:
     def failures(self) -> int:
         """Terminal failures (never served): crash sweeps, unreachable origin."""
         return sum(self._outcome_counts.get(o, 0) for o in FAILED_OUTCOMES)
+
+    @property
+    def sheds(self) -> int:
+        """Queries explicitly shed by a full directory admission queue."""
+        return sum(self._outcome_counts.get(o, 0) for o in SHED_OUTCOMES)
 
     def hit_ratio(self) -> float:
         """Fraction of *served* queries answered from the P2P system.

@@ -1,0 +1,30 @@
+"""Load-balance summary statistics for the overload reports.
+
+The cloud-heavy benchmark compares how evenly directory work and content
+serving spread across the population with and without replica-aware
+shedding; the Gini coefficient is the single-number summary it gates on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative load distribution.
+
+    0.0 means perfectly even load, values toward 1.0 mean one node does
+    all the work.  Degenerate inputs (empty, or all-zero load) are
+    perfectly even by convention.  Uses the standard sorted-rank form
+    ``G = 2 * sum(i * x_i) / (n * sum(x)) - (n + 1) / n`` with 1-based
+    ranks over ascending values.
+    """
+    ordered = sorted(float(value) for value in values)
+    if ordered and ordered[0] < 0.0:
+        raise ValueError("gini() expects non-negative load values")
+    n = len(ordered)
+    total = sum(ordered)
+    if n == 0 or total <= 0.0:
+        return 0.0
+    weighted = sum(rank * value for rank, value in enumerate(ordered, start=1))
+    return 2.0 * weighted / (n * total) - (n + 1) / n

@@ -12,12 +12,17 @@ reflect object accesses while we are interested in website accesses":
 - :mod:`repro.workload.churn` -- the Stutzbach-Rejaie-style churn process:
   Poisson arrivals at rate P/m, exponential session lengths with mean
   m = 60 min, a population converging to P, identities (1.3 x P of them)
-  re-joining repeatedly with fresh uptimes.
+  re-joining repeatedly with fresh uptimes;
+- :mod:`repro.workload.openloop` -- the open-loop overload workload:
+  Poisson arrivals with diurnal cycles and regionally-correlated flash
+  crowds, issued on top of (not instead of) the closed-loop streams so
+  directories can actually saturate.
 """
 
 from repro.workload.catalog import Catalog
 from repro.workload.churn import ChurnModel
 from repro.workload.flashcrowd import FlashCrowdChurnModel, FlashCrowdProfile
+from repro.workload.openloop import ArrivalProfile, OpenLoopWorkload, RegionalSurge
 from repro.workload.queries import QueryStream
 from repro.workload.zipf import ZipfSampler
 
@@ -28,4 +33,7 @@ __all__ = [
     "ChurnModel",
     "FlashCrowdProfile",
     "FlashCrowdChurnModel",
+    "ArrivalProfile",
+    "OpenLoopWorkload",
+    "RegionalSurge",
 ]

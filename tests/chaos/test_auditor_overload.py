@@ -1,0 +1,84 @@
+"""Unit tests for the auditor's shed-accounting invariant (I8).
+
+Every ``flower.query_shed`` event that names an object key must
+reference a query its client actually opened (or one that *just*
+closed -- a retried request can be delivered after its client timed out
+and failed over).  A shed for a query that never existed is fabricated
+work and must trip ``shed_unaccounted``.
+
+The auditor is driven synthetically here: events are emitted straight
+into the trace, no simulation runs, so each case isolates exactly one
+ledger interaction.
+"""
+
+from repro.chaos.auditor import InvariantAuditor
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_world
+
+
+def make_audited_world():
+    config = ExperimentConfig.scaled(
+        population=20,
+        duration_hours=1.0,
+        num_websites=2,
+        num_active_websites=1,
+        num_localities=1,
+        objects_per_website=10,
+    )
+    world = build_world("flower", config, seed=2)
+    auditor = InvariantAuditor(world, results_dir=None)
+    return world, auditor
+
+
+def shed_violations(auditor):
+    return [v for v in auditor.violations if v.kind == "shed_unaccounted"]
+
+
+def test_shed_of_an_open_query_is_accounted():
+    world, auditor = make_audited_world()
+    world.sim.emit("cdn.query", peer=7, key=(0, 3))
+    world.sim.emit(
+        "flower.query_shed", directory=1, client=7, key=(0, 3), position=9, depth=4
+    )
+    assert auditor.stats["queries_shed"] == 1
+    assert not shed_violations(auditor)
+
+
+def test_shed_of_a_recently_closed_query_is_tolerated():
+    # The retried-RPC race: the client gave up (closing the ledger entry)
+    # before the directory's answer -- a shed -- was delivered.
+    world, auditor = make_audited_world()
+    world.sim.emit("cdn.query", peer=7, key=(0, 3))
+    world.sim.emit(
+        "cdn.query_done", peer=7, key=(0, 3), outcome="miss_failed", hops=0
+    )
+    world.sim.emit(
+        "flower.query_shed", directory=1, client=7, key=(0, 3), position=9, depth=4
+    )
+    assert not shed_violations(auditor)
+
+
+def test_shed_of_a_never_issued_query_is_a_violation():
+    world, auditor = make_audited_world()
+    world.sim.emit(
+        "flower.query_shed", directory=1, client=7, key=(0, 3), position=9, depth=4
+    )
+    (violation,) = shed_violations(auditor)
+    assert violation.details["directory"] == 1
+    assert violation.details["depth"] == 4
+
+
+def test_register_only_shed_owes_no_ledger_entry():
+    world, auditor = make_audited_world()
+    world.sim.emit(
+        "flower.query_shed", directory=1, client=7, key=None, position=9, depth=4
+    )
+    assert auditor.stats["queries_shed"] == 1
+    assert not shed_violations(auditor)
+
+
+def test_members_shed_events_are_tallied():
+    world, auditor = make_audited_world()
+    world.sim.emit("flower.members_shed", directory=1, successor=2, count=5)
+    world.sim.emit("flower.members_shed", directory=3, successor=4, count=2)
+    assert auditor.stats["members_shed"] == 7

@@ -104,6 +104,33 @@ def test_replication_off_matches_the_golden_stream():
 
 
 @pytest.mark.slow
+def test_overload_off_matches_the_golden_stream():
+    """Overload machinery disabled is the golden build, bit for bit.
+
+    The overload extension (open-loop arrivals, bounded admission
+    queues, replica-aware shedding) keeps per-role counters
+    unconditionally -- pure state -- while every event it schedules,
+    every RNG draw and every wire-format change is gated: the open-loop
+    process is not even constructed at rate 0, the admission queue only
+    engages at ``directory_queue_limit > 0``, and shed/partition traffic
+    needs ``overload_shedding``.  Varying the harmless service-time knob
+    with everything else off must reproduce the exact pinned
+    fingerprint; if this test moves, some overload code leaked outside
+    its gate.
+    """
+    config = golden_config().replace(
+        openloop_rate_qps=0.0,
+        directory_queue_limit=0,
+        directory_service_ms=55.0,
+        overload_shedding=False,
+    )
+    sha, hit_ratio, _ = run_world("flower", firehose=True, config=config)
+    golden_sha, golden_hit = GOLDEN["flower"]
+    assert sha == golden_sha
+    assert hit_ratio == golden_hit
+
+
+@pytest.mark.slow
 def test_same_seed_reruns_are_bit_identical():
     """Two fresh worlds from the same seed produce the same stream."""
     first = run_world("flower", firehose=True)

@@ -9,6 +9,7 @@ from repro.metrics.collector import (
     HIT_OUTCOMES,
     MISS_OUTCOMES,
     SERVED_OUTCOMES,
+    SHED_OUTCOMES,
     MetricsCollector,
     QueryRecord,
 )
@@ -31,8 +32,9 @@ def test_outcome_taxonomy_is_partition():
     assert HIT_OUTCOMES & MISS_OUTCOMES == frozenset()
     assert HIT_OUTCOMES & FAILED_OUTCOMES == frozenset()
     assert MISS_OUTCOMES & FAILED_OUTCOMES == frozenset()
+    assert SHED_OUTCOMES & (HIT_OUTCOMES | MISS_OUTCOMES | FAILED_OUTCOMES) == frozenset()
     assert HIT_OUTCOMES | MISS_OUTCOMES == SERVED_OUTCOMES
-    assert SERVED_OUTCOMES | FAILED_OUTCOMES == ALL_OUTCOMES
+    assert SERVED_OUTCOMES | FAILED_OUTCOMES | SHED_OUTCOMES == ALL_OUTCOMES
 
 
 def test_failed_outcomes_excluded_from_service_stats():

@@ -83,3 +83,53 @@ def test_rejection_fallback_covers_tail():
     key = stream.next_object()
     assert key == (3, 49)
     assert stream.exhausted
+
+
+def test_forget_revives_an_exhausted_stream():
+    """Eviction (``forget``) reopens objects, even after the stream had
+    drained through the uniform fallback and reported exhaustion."""
+    stream = make_stream(n=3)
+    drained = {index for __, index in iter(stream.next_object, None)}
+    assert drained == {0, 1, 2}
+    assert stream.exhausted and stream.next_object() is None
+    stream.forget({1})
+    assert not stream.exhausted
+    assert stream.next_object() == (3, 1)
+    assert stream.exhausted
+
+
+def test_forget_of_a_never_requested_object_is_harmless():
+    stream = make_stream(n=5)
+    stream.forget({4})  # nothing requested yet
+    seen = {index for __, index in iter(stream.next_object, None)}
+    assert seen == set(range(5))
+
+
+def test_exhaustion_boundary_counts_held_objects():
+    """``already_held`` objects count toward exhaustion exactly like
+    requested ones: n-1 held leaves one draw, n held leaves none."""
+    one_left = make_stream(n=4, held={0, 1, 2})
+    assert not one_left.exhausted
+    assert one_left.next_object() == (3, 3)
+    assert one_left.exhausted
+
+    none_left = make_stream(n=4, held={0, 1, 2, 3})
+    assert none_left.exhausted
+    assert none_left.next_object() is None
+    assert none_left.issued == 0
+
+
+def test_mark_held_mid_stream_excludes_from_rejection_sampling():
+    """Objects fetched outside the stream are never drawn afterwards,
+    whether the draw came from Zipf rejection sampling or the dense
+    fallback."""
+    stream = make_stream(n=20)
+    first = stream.next_object()
+    outside = set(range(10)) - stream.requested
+    stream.mark_held(outside)
+    rest = [index for __, index in iter(stream.next_object, None)]
+    assert not outside & set(rest)
+    assert first[1] not in rest
+    # The stream still covers everything it did not hold.
+    assert set(rest) == set(range(20)) - outside - {first[1]}
+    assert stream.exhausted
