@@ -116,6 +116,24 @@ class ProtocolParams:
             warm ring successor instead of bouncing new clients through
             the section 4 instance scan.  Off by default: splits hand
             over an empty view, exactly the paper's behaviour.
+        swarming: chunked multi-source transfers (:mod:`repro.cdn.swarm`).
+            Off by default: fetches stay atomic RPCs, no object sizes are
+            consulted, the run stays bit-identical to the pre-swarming
+            build.  On, objects spanning more than one chunk are fetched
+            in parallel from multiple holders with per-chunk failover.
+        swarm_parallel: max concurrent chunk fetches per transfer.
+        swarm_sources: max distinct sources a transfer asks manifests of.
+        swarm_resume: keep completed chunks across source failures and
+            re-request only what's missing (the robustness headline).
+            Off = the cold baseline: any source failure discards all
+            progress and refetches the whole object from the origin.
+        swarm_replicate: petal members each full-object holder places
+            chunk replicas on (0 disables placement).
+        swarm_stall_ms: per-chunk stall deadline under the bandwidth
+            model; a chunk still in flight after this long abandons its
+            (slow) source and fails over.
+        swarm_retry_ms: base per-chunk retry backoff (doubled per
+            attempt, capped).
     """
 
     query_interval_ms: float = minutes(6)
@@ -142,6 +160,13 @@ class ProtocolParams:
     directory_queue_limit: int = 0
     directory_service_ms: float = 40.0
     overload_shedding: bool = False
+    swarming: bool = False
+    swarm_parallel: int = 4
+    swarm_sources: int = 4
+    swarm_resume: bool = True
+    swarm_replicate: int = 0
+    swarm_stall_ms: float = 8000.0
+    swarm_retry_ms: float = 200.0
 
     def __post_init__(self) -> None:
         if self.query_interval_ms <= 0 or self.gossip_period_ms <= 0:
@@ -168,6 +193,16 @@ class ProtocolParams:
             raise CDNError("directory_queue_limit must be >= 0")
         if self.directory_service_ms <= 0:
             raise CDNError("directory_service_ms must be positive")
+        if self.swarm_parallel < 1:
+            raise CDNError("swarm_parallel must be >= 1")
+        if self.swarm_sources < 1:
+            raise CDNError("swarm_sources must be >= 1")
+        if self.swarm_replicate < 0:
+            raise CDNError("swarm_replicate must be >= 0")
+        if self.swarm_stall_ms <= 0:
+            raise CDNError("swarm_stall_ms must be positive")
+        if self.swarm_retry_ms < 0:
+            raise CDNError("swarm_retry_ms must be >= 0")
 
 
 class BasePeer(NetworkNode):
@@ -209,6 +244,8 @@ class BasePeer(NetworkNode):
         self._query_process: Optional[PeriodicProcess] = None
         #: key -> issue time of queries not yet finalized (the ledger).
         self._open_queries: Dict[ObjectKey, float] = {}
+        #: key -> active chunked transfer (empty unless ``swarming``).
+        self._swarms: Dict[ObjectKey, object] = {}
 
     # ------------------------------------------------------------- lifecycle
     def begin_session(self) -> None:
@@ -222,6 +259,16 @@ class BasePeer(NetworkNode):
     def crash(self) -> None:
         """Fail abruptly (the paper's only departure mode)."""
         self._stop_query_process()
+        if self._swarms:
+            # Close our own in-flight chunked downloads (terminal "failed"
+            # under I9); the ledger entries fall to the crash sweep below.
+            for transfer in list(self._swarms.values()):
+                transfer.abort()
+        bandwidth = self.network.bandwidth
+        if bandwidth is not None:
+            # Seeder death: every chunk we were uploading aborts NOW, so
+            # downloaders fail over per-chunk instead of waiting forever.
+            bandwidth.abort_uploads_of(self.address)
         self._abort_open_queries()
         self._on_crash()
         self.fail()
@@ -470,6 +517,18 @@ class CdnSystem:
         self.servers: Dict[WebsiteId, OriginServer] = self._make_servers()
         self.peers: Dict[int, BasePeer] = {}
         self._websites: Dict[int, WebsiteId] = {}
+        #: Object-size model (:class:`repro.workload.objectsize`); ``None``
+        #: keeps every object a unit payload and swarming fully inert.
+        self.sizes = None
+        # --- swarming accounting (zero-cost while ``swarming`` is off) ---
+        self.swarm_started = 0
+        self.swarm_completed = 0
+        self.swarm_degraded = 0
+        self.swarm_failed = 0
+        self.swarm_restarts = 0
+        self.swarm_chunk_retries = 0
+        self.swarm_p2p_bytes = 0
+        self.swarm_origin_bytes = 0
 
     def _make_servers(self) -> Dict[WebsiteId, OriginServer]:
         """One origin server per website.  Sharded systems override this to
@@ -529,3 +588,30 @@ class CdnSystem:
     @property
     def online_peers(self) -> int:
         return sum(1 for peer in self.peers.values() if peer.alive)
+
+    def install_sizes(self, sizes) -> None:
+        """Attach the object-size model (and share it with the origin
+        servers so they can account bytes served)."""
+        self.sizes = sizes
+        for server in self.servers.values():
+            server.sizes = sizes
+
+    def swarm_stats(self) -> Dict[str, float]:
+        """Chunked-transfer accounting (all zeros while swarming is off)."""
+        total_bytes = self.swarm_p2p_bytes + self.swarm_origin_bytes
+        offload = self.swarm_p2p_bytes / total_bytes if total_bytes else 0.0
+        stats: Dict[str, float] = {
+            "transfers_started": self.swarm_started,
+            "transfers_completed": self.swarm_completed,
+            "transfers_degraded": self.swarm_degraded,
+            "transfers_failed": self.swarm_failed,
+            "restarts": self.swarm_restarts,
+            "chunk_retries": self.swarm_chunk_retries,
+            "p2p_bytes": self.swarm_p2p_bytes,
+            "origin_bytes": self.swarm_origin_bytes,
+            "offload_fraction": offload,
+        }
+        bandwidth = self.network.bandwidth
+        if bandwidth is not None:
+            stats.update(bandwidth.stats())
+        return stats

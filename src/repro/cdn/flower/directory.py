@@ -65,6 +65,9 @@ class DirectoryRole:
         #: emits events on its own.
         self.busy_until = 0.0
         self.queries_shed = 0
+        #: Foreign (collaboration-scan) requests shed at the lower
+        #: two-class bound -- a subset of ``queries_shed``.
+        self.foreign_shed = 0
         self.peak_queue_depth = 0
         #: Members handed off to the warm successor instance under
         #: sustained overload (replica-aware shedding, PetalUp extension).
@@ -106,7 +109,19 @@ class DirectoryRole:
             return 0
         return int(math.ceil(backlog_ms / service_ms))
 
-    def admit(self, now: float, service_ms: float, limit: int):
+    @staticmethod
+    def foreign_limit(limit: int) -> int:
+        """Admission bound for foreign (section 3.2 collaboration) scans.
+
+        Two-class queue, shed-foreign-first: petal members may fill the
+        whole queue, foreign sibling scans only up to this lower bound,
+        so under pressure the last quarter of the queue (at least one
+        slot) is reserved for the petal's own members.  Always >= 1: an
+        idle directory never starves foreign scans.
+        """
+        return max(1, limit - max(1, limit // 4))
+
+    def admit(self, now: float, service_ms: float, limit: int, foreign: bool = False):
         """Try to admit one request into the bounded queue.
 
         Returns ``(admitted, queue_wait_ms, depth)``: on admission the
@@ -114,12 +129,20 @@ class DirectoryRole:
         owes its client a ``queue_wait_ms`` delay before the reply takes
         effect; on rejection (depth at the limit) nothing changes and the
         request must be shed with an explicit outcome.
+
+        ``foreign`` requests (another directory's miss scanning us) are
+        the lower class: they shed at :meth:`foreign_limit` so queue
+        pressure from collaboration scans can never crowd out this
+        petal's own members.
         """
         depth = self.queue_depth(now, service_ms)
         if depth > self.peak_queue_depth:
             self.peak_queue_depth = depth
-        if depth >= limit:
+        bound = self.foreign_limit(limit) if foreign else limit
+        if depth >= bound:
             self.queries_shed += 1
+            if foreign:
+                self.foreign_shed += 1
             return False, 0.0, depth
         wait_ms = max(0.0, self.busy_until - now)
         self.busy_until = max(now, self.busy_until) + service_ms

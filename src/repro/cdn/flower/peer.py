@@ -41,6 +41,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.cdn.base import BasePeer
 from repro.cdn.flower.directory import DirectoryRole
+from repro.cdn.swarm import SwarmTransfer
 from repro.cdn.flower.replication import (
     DirectoryReplicator,
     ReplicaRecord,
@@ -70,6 +71,10 @@ _MAX_SCAN_TRIES = 2
 #: beyond the hinted replica holders (section 5.4): they catch promoted
 #: heirs / provisional claimants a stale hint cannot name.
 _SEARCH_VIEW_CANDIDATES = 4
+
+#: Bound on the per-peer partial chunk-replica map (swarming extension):
+#: at most this many distinct keys, FIFO-evicted.
+SWARM_HOLDINGS_LIMIT = 32
 
 
 @dataclass
@@ -142,6 +147,17 @@ class FlowerPeer(BasePeer):
         #: Successful ``flower.fetch`` replies served from our cache --
         #: the per-peer content-load signal behind the Gini reports.
         self.fetches_served = 0
+        # --- swarming (chunked transfers; inert unless params.swarming) ---
+        #: Partial chunk replicas placed on us by full-object holders
+        #: (bounded, FIFO-evicted): key -> held chunk indices.
+        self.chunk_holdings: Dict[ObjectKey, Set[int]] = {}
+        #: Other holders we can name in ``swarm.manifest`` replies: the
+        #: peers we placed chunks on, or the placer that seeded us.
+        self._swarm_hints: Dict[ObjectKey, List[Address]] = {}
+        self._placed: Set[ObjectKey] = set()
+        #: Chunk payload bytes served to swarming downloaders -- the load
+        #: signal the seeder_death chaos phase targets.
+        self.bytes_uploaded = 0
         # --- warm failover (section 5.3; inert while replication_k == 0) ---
         self.replica_store = ReplicaStore()
         self._replicator: Optional[DirectoryReplicator] = None
@@ -319,7 +335,13 @@ class FlowerPeer(BasePeer):
         d.queries_handled += 1
         provider = d.pick_provider(key, self.rng, exclude={self.address})
         if provider is not None:
-            self._fetch_provider(key, provider, "hit_directory", started_at)
+            self._fetch_provider(
+                key,
+                provider,
+                "hit_directory",
+                started_at,
+                sources=self._provider_hints(d, key, {self.address, provider}),
+            )
             return
         candidates = self._summary_candidates(key)
         if candidates:
@@ -397,7 +419,11 @@ class FlowerPeer(BasePeer):
                 return
             if status == "provider":
                 self._fetch_provider(
-                    key, payload["provider"], "hit_directory", started_at
+                    key,
+                    payload["provider"],
+                    "hit_directory",
+                    started_at,
+                    sources=payload.get("providers"),
                 )
             elif payload.get("sibling_address") is not None:
                 self._ask_sibling(
@@ -473,7 +499,11 @@ class FlowerPeer(BasePeer):
             status = payload.get("status")
             if status == "provider" and payload.get("provider") is not None:
                 self._fetch_provider(
-                    key, payload["provider"], "hit_directory", started_at
+                    key,
+                    payload["provider"],
+                    "hit_directory",
+                    started_at,
+                    sources=payload.get("providers"),
                 )
             elif status in ("shed", "not_directory"):
                 self._fail_query(key, "shed_overload", started_at)
@@ -506,10 +536,16 @@ class FlowerPeer(BasePeer):
         """
         visited = visited | {sibling}
 
-        def on_reply(payload: Dict[str, Any]) -> None:
+        def apply(payload: Dict[str, Any]) -> None:
             provider = payload.get("provider")
             if payload.get("status") == "provider" and provider is not None:
-                self._fetch_provider(key, provider, "hit_transfer", started_at)
+                self._fetch_provider(
+                    key,
+                    provider,
+                    "hit_transfer",
+                    started_at,
+                    sources=payload.get("providers"),
+                )
                 return
             next_sibling = payload.get("sibling_address")
             if (
@@ -521,6 +557,9 @@ class FlowerPeer(BasePeer):
                 self._ask_sibling(key, next_sibling, started_at, visited)
             else:
                 self._fetch_from_server(key, "miss_server", started_at)
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            self._after_queue_wait(payload, key, started_at, lambda: apply(payload))
 
         self.rpc(
             sibling,
@@ -538,9 +577,22 @@ class FlowerPeer(BasePeer):
         started_at: float,
         hops: int = 0,
         sibling: Optional[Address] = None,
+        sources: Optional[List[Address]] = None,
     ) -> None:
         if provider == self.address:
             self._finish_query(key, "hit_local", self.address, started_at, hops)
+            return
+        system = self.system
+        if (
+            system.params.swarming
+            and system.sizes is not None
+            and system.sizes.chunk_count(key) > 1
+        ):
+            # Large object: chunked multi-source transfer with per-chunk
+            # failover instead of one atomic fetch (repro.cdn.swarm).
+            SwarmTransfer(
+                self, key, provider, started_at, hops, extra_sources=sources
+            ).start()
             return
 
         def on_reply(payload: Dict[str, Any]) -> None:
@@ -677,7 +729,12 @@ class FlowerPeer(BasePeer):
                 return
             if status == "provider":
                 self._fetch_provider(
-                    key, reply["provider"], "hit_directory", started_at, hops
+                    key,
+                    reply["provider"],
+                    "hit_directory",
+                    started_at,
+                    hops,
+                    sources=reply.get("providers"),
                 )
             elif reply.get("sibling_address") is not None:
                 self._ask_sibling(
@@ -1000,6 +1057,7 @@ class FlowerPeer(BasePeer):
 
     def _after_query(self, key: ObjectKey, outcome: str) -> None:
         self.summary.add(key)
+        self._maybe_place_chunks(key)
         if self.directory is not None:
             return  # a directory consults its own store directly
         if self.dir_info is not None and self.store.should_push(
@@ -1860,13 +1918,16 @@ class FlowerPeer(BasePeer):
     def handle_flower_query(self, message: Message) -> Dict[str, Any]:
         """Directory-side query processing (sections 3.2 and 4).
 
-        With ``directory_queue_limit > 0`` every non-foreign request first
-        passes the bounded admission queue: a request finding the virtual
-        backlog at the limit is **shed** with an explicit status (plus a
-        redirect to the next instance when one exists) instead of piling
-        up, and an admitted request's reply carries the queue wait it
-        owes its client.  With the limit at 0 none of this code runs and
-        replies are byte-identical to the ungated build.
+        With ``directory_queue_limit > 0`` every request first passes the
+        bounded admission queue: a request finding the virtual backlog at
+        the limit is **shed** with an explicit status (plus a redirect to
+        the next instance when one exists) instead of piling up, and an
+        admitted request's reply carries the queue wait it owes its
+        client.  The queue is two-class: foreign collaboration scans
+        (section 3.2) shed at the lower ``foreign_limit`` bound, so under
+        pressure this petal's own members always outrank another petal's
+        misses.  With the limit at 0 none of this code runs and replies
+        are byte-identical to the ungated build.
         """
         d = self.directory
         if d is None:
@@ -1876,11 +1937,12 @@ class FlowerPeer(BasePeer):
         d.queries_handled += 1
         params = self.system.params
         queue_wait_ms = 0.0
-        if params.directory_queue_limit > 0 and not payload.get("foreign"):
+        if params.directory_queue_limit > 0:
             admitted, queue_wait_ms, depth = d.admit(
                 self.sim.now,
                 params.directory_service_ms,
                 params.directory_queue_limit,
+                foreign=bool(payload.get("foreign")),
             )
             if not admitted:
                 return self._shed_query(d, message.src, key, depth)
@@ -1938,7 +2000,11 @@ class FlowerPeer(BasePeer):
             # the walk.
             provider = self._directory_provider(d, key, exclude={message.src})
             if provider is not None:
-                return {"status": "provider", "provider": provider}
+                reply = {"status": "provider", "provider": provider}
+                hints = self._provider_hints(d, key, {message.src, provider})
+                if hints is not None:
+                    reply["providers"] = hints
+                return reply
             return {"status": "miss", "sibling_address": self._sibling_address(d)}
 
         if payload.get("new_client"):
@@ -1969,6 +2035,9 @@ class FlowerPeer(BasePeer):
         if provider is not None:
             reply["status"] = "provider"
             reply["provider"] = provider
+            hints = self._provider_hints(d, key, {message.src, provider})
+            if hints is not None:
+                reply["providers"] = hints
         else:
             reply["status"] = "miss"
             if params.directory_collaboration:
@@ -2190,6 +2259,111 @@ class FlowerPeer(BasePeer):
         if ok:
             self.fetches_served += 1
         return {"ok": ok}
+
+    # =====================================================================
+    # Chunked swarming transfers (repro.cdn.swarm; inert unless swarming)
+    # =====================================================================
+    def _provider_hints(
+        self, d: DirectoryRole, key: ObjectKey, exclude: Set[Address]
+    ) -> Optional[List[Address]]:
+        """Extra full-object holders for a swarming downloader, or None.
+
+        Only computed (and only shipped on the wire) when swarming is on,
+        so paper-faithful replies stay byte-identical.
+        """
+        params = self.system.params
+        if not params.swarming:
+            return None
+        others = d.providers_of(key) - exclude
+        if not others:
+            return None
+        return sorted(others)[: params.swarm_sources]
+
+    def handle_swarm_manifest(self, message: Message) -> Dict[str, Any]:
+        """Name the chunks we hold plus other holders we know of."""
+        sizes = self.system.sizes
+        if sizes is None:
+            return {"ok": False}
+        key = tuple(message.payload["key"])
+        if key in self.store:
+            have = list(range(sizes.chunk_count(key)))
+        else:
+            held = self.chunk_holdings.get(key)
+            have = sorted(held) if held else []
+        if not have:
+            return {"ok": False}
+        reply: Dict[str, Any] = {"ok": True, "have": have}
+        hints = self._swarm_hints.get(key)
+        if hints:
+            reply["also"] = [a for a in hints if a != message.src]
+        return reply
+
+    def handle_swarm_chunk(self, message: Message) -> Dict[str, Any]:
+        """Agree to upload one chunk (payload timing is the caller's flow)."""
+        sizes = self.system.sizes
+        if sizes is None:
+            return {"ok": False}
+        key = tuple(message.payload["key"])
+        chunk = message.payload["chunk"]
+        if not 0 <= chunk < sizes.chunk_count(key):
+            return {"ok": False}
+        held = key in self.store or chunk in self.chunk_holdings.get(key, ())
+        if not held:
+            return {"ok": False}
+        self.bytes_uploaded += sizes.chunk_size(key, chunk)
+        return {"ok": True}
+
+    def handle_swarm_place(self, message: Message) -> None:
+        """Accept a chunk-replica placement from a full-object holder."""
+        sizes = self.system.sizes
+        if sizes is None:
+            return
+        key = tuple(message.payload["key"])
+        if key in self.store:
+            return  # already a full holder; partial state would be noise
+        held = self.chunk_holdings.get(key)
+        if held is None:
+            if len(self.chunk_holdings) >= SWARM_HOLDINGS_LIMIT:
+                evicted = next(iter(self.chunk_holdings))
+                del self.chunk_holdings[evicted]
+                self._swarm_hints.pop(evicted, None)
+            held = self.chunk_holdings[key] = set()
+        count = sizes.chunk_count(key)
+        held.update(i for i in message.payload["chunks"] if 0 <= i < count)
+        # The placer has the whole object: remember it as a holder hint.
+        hints = self._swarm_hints.setdefault(key, [])
+        if message.src not in hints and len(hints) < self.system.params.swarm_sources:
+            hints.append(message.src)
+        return
+
+    def _maybe_place_chunks(self, key: ObjectKey) -> None:
+        """After caching a chunked object, place k chunk replicas.
+
+        Round-robin slices to the first k live view contacts (sorted, so
+        the spread is deterministic); the recipients become the ``also``
+        hints of our future manifest replies.
+        """
+        params = self.system.params
+        sizes = self.system.sizes
+        if not params.swarming or params.swarm_replicate < 1 or sizes is None:
+            return
+        if key in self._placed or key not in self.store:
+            return
+        count = sizes.chunk_count(key)
+        if count < 2:
+            return
+        contacts = sorted(a for a in self.view.addresses() if a != self.address)
+        if not contacts:
+            return
+        k = min(params.swarm_replicate, len(contacts))
+        targets = contacts[:k]
+        self._placed.add(key)
+        hints = self._swarm_hints.setdefault(key, [])
+        for j, target in enumerate(targets):
+            chunks = [i for i in range(count) if i % k == j]
+            self.send(target, "swarm.place", key=key, chunks=chunks)
+            if target not in hints and len(hints) < params.swarm_sources:
+                hints.append(target)
 
     def handle_flower_push(self, message: Message) -> Dict[str, Any]:
         """Apply a member's content push to the directory-index."""

@@ -23,6 +23,13 @@ class OriginServer(NetworkNode):
         super().__init__(network)
         self.website = website
         self.requests_served = 0
+        #: Chunk requests from degraded swarming transfers (section is the
+        #: swarming extension; zero in paper-faithful runs).
+        self.chunks_served = 0
+        #: Origin-served payload bytes -- whole objects plus chunks.  Only
+        #: accounted when an object-size model is installed.
+        self.bytes_served = 0
+        self.sizes = None
 
     def handle_server_fetch(self, message: Message) -> Dict[str, Any]:
         """Serve an object (always succeeds for the server's own website)."""
@@ -30,6 +37,22 @@ class OriginServer(NetworkNode):
         ok = key[0] == self.website
         if ok:
             self.requests_served += 1
+            if self.sizes is not None:
+                self.bytes_served += self.sizes.size_bytes(key)
+        return {"ok": ok}
+
+    def handle_server_chunk(self, message: Message) -> Dict[str, Any]:
+        """Serve one chunk to a degraded swarming transfer.
+
+        The downloader names the chunk's byte size (chunk geometry is a
+        pure function of the shared size model, so this is bookkeeping,
+        not trust).
+        """
+        key = tuple(message.payload["key"])
+        ok = key[0] == self.website
+        if ok:
+            self.chunks_served += 1
+            self.bytes_served += message.payload.get("size", 0)
         return {"ok": ok}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

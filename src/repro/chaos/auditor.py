@@ -32,6 +32,14 @@ I8 **shed accounting** -- a ``flower.query_shed`` for a keyed member
    directory rejected work nobody was waiting for), and I1 then
    guarantees the shed query still terminates exactly once -- shedding
    under overload never loses a query.
+I9 **transfer ledger** -- every chunked swarm transfer terminates
+   *exactly once* (``swarm.done`` with completed / degraded / failed),
+   with consistent byte accounting: each chunk lands at most once per
+   generation (a ``swarm.restart`` discards progress and opens a new
+   generation), the bytes reported at close equal the sum of the
+   generation's ``swarm.chunk_done`` bytes, and a completed or degraded
+   close accounts for the full object size.  Seeder death mid-transfer
+   may degrade a transfer; it must never lose or double-count one.
 
 Zero cost when absent: all observation happens through subscriber-gated
 trace kinds plus an explicitly scheduled audit tick -- a run without an
@@ -79,6 +87,13 @@ WATCHED_KINDS = (
     "flower.members_shed",
     "flower.query_shed",
     "flower.search_done",
+    "chaos.seeder_death",
+    "swarm.start",
+    "swarm.chunk_done",
+    "swarm.chunk_retry",
+    "swarm.degraded",
+    "swarm.restart",
+    "swarm.done",
 )
 
 
@@ -197,6 +212,12 @@ class InvariantAuditor:
             "search_stale_max_ms": 0,
             "queries_shed": 0,
             "members_shed": 0,
+            "transfers_opened": 0,
+            "transfers_closed": 0,
+            "transfers_degraded": 0,
+            "transfers_failed": 0,
+            "transfer_restarts": 0,
+            "chunk_retries": 0,
         }
         #: reacquire durations (ms) of observed directory slot recoveries.
         self.reacquire_times_ms: List[float] = []
@@ -207,6 +228,11 @@ class InvariantAuditor:
         #: every (peer, key) that ever terminated -- lets I8 tell a shed
         #: racing a just-closed query apart from a fabricated one.
         self._ever_closed: Set[Tuple[int, tuple]] = set()
+        # --- I9: transfer ledger --- (peer, key) -> open transfer state:
+        #: opened_at, declared size/chunk count, and the current
+        #: generation's completed chunks + byte total.
+        self._transfers: Dict[Tuple[int, tuple], Dict[str, Any]] = {}
+        self._transfer_leaks: Set[Tuple[int, tuple]] = set()
         # --- trace window (context for reproducer bundles) ---
         self._window: Deque[TraceEvent] = deque(maxlen=cfg.trace_window)
         # --- fault context ---
@@ -257,6 +283,11 @@ class InvariantAuditor:
             "flower.search_done": self._on_search_done,
             "chord.join": self._on_ring_change,
             "chord.shutdown": self._on_ring_change,
+            "swarm.start": self._on_swarm_start,
+            "swarm.chunk_done": self._on_swarm_chunk_done,
+            "swarm.chunk_retry": self._on_swarm_chunk_retry,
+            "swarm.restart": self._on_swarm_restart,
+            "swarm.done": self._on_swarm_done,
         }
         for kind in WATCHED_KINDS:
             specific = handlers.get(kind)
@@ -325,6 +356,111 @@ class InvariantAuditor:
 
     def _on_members_shed(self, event: TraceEvent) -> None:
         self.stats["members_shed"] += int(event.payload.get("count", 0))
+
+    # ------------------------------------------------ I9: transfer ledger
+    def _on_swarm_start(self, event: TraceEvent) -> None:
+        key = (event.payload["peer"], tuple(event.payload["key"]))
+        self.stats["transfers_opened"] += 1
+        if key in self._transfers:
+            # A superseding query aborts (and closes) the old transfer
+            # *before* registering the new one, so an open entry here
+            # means a transfer was opened twice without a close between.
+            self._violation(
+                "transfer_reopened",
+                subject=key,
+                details={"first_opened_ms": self._transfers[key]["opened_at"]},
+            )
+        self._transfers[key] = {
+            "opened_at": event.time,
+            "size": int(event.payload["size"]),
+            "chunk_count": int(event.payload["chunks"]),
+            "chunks": set(),
+            "bytes": 0,
+        }
+
+    def _on_swarm_chunk_done(self, event: TraceEvent) -> None:
+        key = (event.payload["peer"], tuple(event.payload["key"]))
+        entry = self._transfers.get(key)
+        if entry is None:
+            self._violation(
+                "chunk_without_transfer",
+                subject=key,
+                details={"chunk": event.payload.get("chunk")},
+            )
+            return
+        chunk = event.payload["chunk"]
+        if chunk in entry["chunks"]:
+            # The same chunk landing twice in one generation would
+            # double-count bytes (stale-callback suppression failed).
+            self._violation(
+                "chunk_double_counted",
+                subject=key,
+                details={"chunk": chunk, "source": event.payload.get("source")},
+            )
+            return
+        entry["chunks"].add(chunk)
+        entry["bytes"] += int(event.payload["bytes"])
+
+    def _on_swarm_chunk_retry(self, event: TraceEvent) -> None:
+        self.stats["chunk_retries"] += 1
+
+    def _on_swarm_restart(self, event: TraceEvent) -> None:
+        self.stats["transfer_restarts"] += 1
+        key = (event.payload["peer"], tuple(event.payload["key"]))
+        entry = self._transfers.get(key)
+        if entry is not None:
+            # Cold-mode restart-from-zero: progress discarded, so the
+            # ledger opens a fresh generation with empty accounting.
+            entry["chunks"] = set()
+            entry["bytes"] = 0
+
+    def _on_swarm_done(self, event: TraceEvent) -> None:
+        key = (event.payload["peer"], tuple(event.payload["key"]))
+        entry = self._transfers.pop(key, None)
+        if entry is None:
+            self._violation(
+                "transfer_double_closed",
+                subject=key,
+                details={"outcome": event.payload.get("outcome")},
+            )
+            return
+        self._transfer_leaks.discard(key)
+        self.stats["transfers_closed"] += 1
+        outcome = event.payload["outcome"]
+        reported = int(event.payload["bytes"]) + int(event.payload["origin_bytes"])
+        details = {
+            "outcome": outcome,
+            "reported_bytes": reported,
+            "ledger_bytes": entry["bytes"],
+            "size": entry["size"],
+            "chunks_done": len(entry["chunks"]),
+            "chunk_count": entry["chunk_count"],
+        }
+        if outcome == "degraded":
+            self.stats["transfers_degraded"] += 1
+        if outcome == "failed":
+            self.stats["transfers_failed"] += 1
+            # A failed close (downloader crash, superseded query, origin
+            # unreachable) may be partial, but what *was* reported must
+            # match what the ledger saw this generation.
+            if reported != entry["bytes"]:
+                self._violation(
+                    "transfer_bytes_inconsistent", subject=key, details=details
+                )
+            return
+        if outcome not in ("completed", "degraded"):
+            self._violation("transfer_bad_outcome", subject=key, details=details)
+            return
+        # A successful close must account for the whole object: every
+        # chunk exactly once, bytes summing to the declared size.
+        if (
+            reported != entry["bytes"]
+            or entry["bytes"] != entry["size"]
+            or len(entry["chunks"]) != entry["chunk_count"]
+        ):
+            self._violation(
+                "transfer_bytes_inconsistent", subject=key, details=details
+            )
 
     def _on_query_stale(self, event: TraceEvent) -> None:
         # Informational: a suppressed stale completion is the ledger
@@ -458,6 +594,25 @@ class InvariantAuditor:
                     details={
                         "opened_ms": opened,
                         "age_ms": now - opened,
+                        "at_horizon": horizon_reached,
+                    },
+                )
+        # --- I9: a transfer open beyond the same grace bound is leaked
+        # (its query would leak too, but the transfer ledger names the
+        # subsystem that lost it).
+        for key, entry in list(self._transfers.items()):
+            if key in self._transfer_leaks:
+                continue
+            if now - entry["opened_at"] > grace:
+                self._transfer_leaks.add(key)
+                self._violation(
+                    "transfer_leaked",
+                    subject=key,
+                    details={
+                        "opened_ms": entry["opened_at"],
+                        "age_ms": now - entry["opened_at"],
+                        "chunks_done": len(entry["chunks"]),
+                        "chunk_count": entry["chunk_count"],
                         "at_horizon": horizon_reached,
                     },
                 )
@@ -771,6 +926,7 @@ class InvariantAuditor:
         snapshot: Dict[str, Any] = {
             "now_ms": self.sim.now,
             "open_queries": len(self._open),
+            "open_transfers": len(self._transfers),
             "online_peers": self.system.online_peers,
             "partition_active": self._partition_active,
         }

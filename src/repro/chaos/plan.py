@@ -36,6 +36,11 @@ chaos seeds keep generating byte-identical plans):
                         correlated; exercises the bounded admission queue
                         and replica-aware shedding (requires a config
                         with ``openloop_rate_qps > 0``)
+``seeder_death``        kill the top-N uploaders mid-window
+                        (``generate_plan(..., seeder_death=True)``);
+                        exercises mid-transfer chunk failover and the
+                        I9 transfer ledger (requires a config with
+                        ``swarming=True``)
 ==================      =================================================
 """
 
@@ -118,6 +123,35 @@ class OverloadSurgeSpec:
 
 
 @dataclass(frozen=True)
+class SeederDeathSpec:
+    """Kill the top uploaders of the swarming plane mid-window.
+
+    The runner ranks live peers by chunk payload bytes uploaded so far
+    (``bytes_uploaded``) at ``at_ms`` and crashes the top ``count`` of
+    them — mid-transfer, which is the point: every chunk they were
+    uploading aborts and the downloaders must fail over per-chunk.
+    Optionally restricted to uploaders of one hot website.  Inert when
+    nothing has been uploaded (no swarming, or no traffic yet).
+
+    Attributes:
+        at_ms: strike time.
+        count: how many top uploaders to crash.
+        hot_website: if set, only peers interested in this website are
+            candidates (the flash-crowd seeders).
+    """
+
+    at_ms: float
+    count: int
+    hot_website: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ConfigError("seeder death needs at_ms >= 0")
+        if self.count < 1:
+            raise ConfigError("seeder death needs count >= 1")
+
+
+@dataclass(frozen=True)
 class ChaosPhase:
     """One labelled segment of the plan's timeline (for humans and the
     auditor's context; the actual injection lives in the specs)."""
@@ -139,6 +173,7 @@ _SPEC_TYPES = {
     "mass_failure": MassFailureSpec,
     "churn_surge": ChurnSurgeSpec,
     "overload_surge": OverloadSurgeSpec,
+    "seeder_death": SeederDeathSpec,
     "chaos_phase": ChaosPhase,
 }
 _SPEC_NAMES = {cls: name for name, cls in _SPEC_TYPES.items()}
@@ -177,6 +212,8 @@ class ChaosPlan:
         surges: extra-arrival bursts (churn bursts, flash crowds).
         overload_surges: sustained open-loop overload windows (installed
             on the world's open-loop workload; empty for classic plans).
+        seeder_deaths: targeted top-uploader kills (swarming robustness;
+            empty for classic plans).
         phases: the labelled timeline (emitted as ``chaos.phase`` events).
     """
 
@@ -186,6 +223,7 @@ class ChaosPlan:
     faults: Tuple[Any, ...] = ()
     surges: Tuple[ChurnSurgeSpec, ...] = ()
     overload_surges: Tuple[OverloadSurgeSpec, ...] = ()
+    seeder_deaths: Tuple[SeederDeathSpec, ...] = ()
     phases: Tuple[ChaosPhase, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -198,6 +236,10 @@ class ChaosPlan:
         if not isinstance(self.overload_surges, tuple):
             object.__setattr__(
                 self, "overload_surges", tuple(self.overload_surges)
+            )
+        if not isinstance(self.seeder_deaths, tuple):
+            object.__setattr__(
+                self, "seeder_deaths", tuple(self.seeder_deaths)
             )
         if not isinstance(self.phases, tuple):
             object.__setattr__(self, "phases", tuple(self.phases))
@@ -219,6 +261,11 @@ class ChaosPlan:
             data["overload_surges"] = [
                 spec_to_dict(s) for s in self.overload_surges
             ]
+        if self.seeder_deaths:
+            # Same optional-stamp discipline as overload_surges.
+            data["seeder_deaths"] = [
+                spec_to_dict(s) for s in self.seeder_deaths
+            ]
         return data
 
     @classmethod
@@ -234,6 +281,9 @@ class ChaosPlan:
             surges=tuple(spec_from_dict(s) for s in data.get("surges", ())),
             overload_surges=tuple(
                 spec_from_dict(s) for s in data.get("overload_surges", ())
+            ),
+            seeder_deaths=tuple(
+                spec_from_dict(s) for s in data.get("seeder_deaths", ())
             ),
             phases=tuple(spec_from_dict(p) for p in data.get("phases", ())),
         )
@@ -265,6 +315,7 @@ def generate_plan(
     population: int = 120,
     name: Optional[str] = None,
     overload: bool = False,
+    seeder_death: bool = False,
 ) -> ChaosPlan:
     """Compose a randomized chaos plan from its own RNG stream.
 
@@ -275,10 +326,11 @@ def generate_plan(
     bursty-loss window is generated (the controller keeps one Gilbert-
     Elliott chain at a time).
 
-    ``overload=True`` adds ``sustained_overload`` to the menu (module
-    docstring); it is opt-in because extending the menu reshuffles every
-    draw -- the default keeps historical ``chaos_seed`` values generating
-    exactly the plans they always did.
+    ``overload=True`` adds ``sustained_overload`` to the menu and
+    ``seeder_death=True`` adds ``seeder_death`` (module docstring); both
+    are opt-in because extending the menu reshuffles every draw -- the
+    default keeps historical ``chaos_seed`` values generating exactly the
+    plans they always did.
 
     Determinism: the plan is a pure function of the arguments; the RNG is
     ``random.Random(f"chaos:{chaos_seed}")``, decoupled from every
@@ -292,12 +344,15 @@ def generate_plan(
     menu = _PHASE_WEIGHTS
     if overload:
         menu = menu + (("sustained_overload", 2.0),)
+    if seeder_death:
+        menu = menu + (("seeder_death", 2.0),)
     kinds = [k for k, _ in menu]
     weights = [w for _, w in menu]
 
     faults: List[Any] = []
     surges: List[ChurnSurgeSpec] = []
     overload_surges: List[OverloadSurgeSpec] = []
+    seeder_deaths: List[SeederDeathSpec] = []
     phases: List[ChaosPhase] = []
     used_bursty = False
 
@@ -426,6 +481,19 @@ def generate_plan(
                     else None,
                 )
             )
+        elif kind == "seeder_death":
+            # Strike once the window's transfers are underway: the runner
+            # ranks live peers by bytes uploaded *at the strike instant*,
+            # so the kill lands on whoever actually carried the swarm.
+            seeder_deaths.append(
+                SeederDeathSpec(
+                    at_ms=start + duration * rng.uniform(0.3, 0.6),
+                    count=max(1, int(0.02 * intensity * population)),
+                    hot_website=rng.randrange(num_websites)
+                    if rng.random() < 0.5
+                    else None,
+                )
+            )
         # "calm": inject nothing; the phase label alone documents the gap.
 
         phases.append(ChaosPhase(kind, start, end))
@@ -439,5 +507,6 @@ def generate_plan(
         faults=tuple(faults),
         surges=tuple(surges),
         overload_surges=tuple(overload_surges),
+        seeder_deaths=tuple(seeder_deaths),
         phases=tuple(phases),
     )

@@ -29,6 +29,7 @@ from repro.chaos.plan import (
     ChaosPlan,
     ChurnSurgeSpec,
     OverloadSurgeSpec,
+    SeederDeathSpec,
     spec_from_dict,
     spec_to_dict,
 )
@@ -128,12 +129,20 @@ class ChaosRunReport:
                 f"shed={shed_count} "
                 f"members_shed={self.stats.get('members_shed', 0)} "
             )
+        swarm = ""
+        transfers = self.stats.get("transfers_opened", 0)
+        if transfers:
+            swarm = (
+                f"transfers={self.stats.get('transfers_closed', 0)}/{transfers} "
+                f"degraded={self.stats.get('transfers_degraded', 0)} "
+            )
         return (
             f"[{self.protocol}] plan={self.plan.name} seed={self.seed} "
             f"audits={self.stats.get('audits', 0)} "
             f"queries={self.stats.get('queries_opened', 0)} "
             f"{search}"
             f"{shed}"
+            f"{swarm}"
             f"hit_ratio={self.result.hit_ratio:.4f} -> {status}"
         )
 
@@ -225,6 +234,45 @@ def _install_overload_surges(
                 hot_website=-1 if spec.hot_website is None else spec.hot_website,
             )
         )
+
+
+def _install_seeder_deaths(
+    world: World, specs: Tuple[SeederDeathSpec, ...]
+) -> None:
+    """Schedule the plan's targeted top-uploader kills.
+
+    At each strike instant the live peers are ranked by
+    ``bytes_uploaded`` (descending, address-ascending tiebreak -- the
+    ranking must be deterministic) and the top ``count`` are crashed.
+    ``hot_website`` restricts the cull to peers interested in that
+    website.  A world where nobody has uploaded anything (swarming off,
+    or no transfer started yet) has no seeders to kill; the strike is
+    then inert, mirroring how overload surges are inert without an
+    open-loop workload.
+    """
+    if not specs:
+        return
+    system = world.system
+
+    def strike(spec: SeederDeathSpec) -> None:
+        candidates = [
+            peer
+            for peer in system.peers.values()
+            if peer.alive
+            and getattr(peer, "bytes_uploaded", 0) > 0
+            and (spec.hot_website is None or peer.website == spec.hot_website)
+        ]
+        candidates.sort(key=lambda p: (-p.bytes_uploaded, p.address))
+        for peer in candidates[: spec.count]:
+            world.sim.emit(
+                "chaos.seeder_death",
+                peer=peer.address,
+                bytes_uploaded=peer.bytes_uploaded,
+            )
+            peer.crash()
+
+    for spec in specs:
+        world.sim.schedule(max(spec.at_ms - world.sim.now, 0.0), strike, spec)
 
 
 def _install_phase_markers(world: World, plan: ChaosPlan) -> None:
@@ -323,6 +371,7 @@ def run_chaos(
     _install_phase_markers(world, plan)
     _install_surges(world, plan.surges)
     _install_overload_surges(world, plan.overload_surges)
+    _install_seeder_deaths(world, plan.seeder_deaths)
     world.run()
     auditor.finalize()
     system = world.system
@@ -341,6 +390,8 @@ def run_chaos(
         overload_stats = getattr(system, "overload_stats", None)
         if overload_stats is not None:
             extra["overload"] = overload_stats()
+    if getattr(system, "sizes", None) is not None:
+        extra["swarm"] = system.swarm_stats()
     result = ExperimentResult.from_metrics(
         protocol=protocol,
         seed=seed,

@@ -236,6 +236,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             directory_service_ms=40.0,
             overload_shedding=True,
         )
+    seeder_death = getattr(args, "seeder_death", False)
+    if seeder_death:
+        # Swarming lanes: chunked multi-source transfers over a
+        # bandwidth-limited network, plus the seeder_death phase in the
+        # plan menu so the auditor's I9 (transfer ledger) sees kills of
+        # the peers actually carrying the swarm.  Off by default: the
+        # chunk traffic changes every trace.
+        config = config.replace(
+            swarming=True,
+            swarm_replicate=2,
+            object_mean_kb=256.0,
+            bandwidth_kbps=4000.0,
+            bandwidth_slow_fraction=0.15,
+        )
     workers = getattr(args, "workers", 1)
     if workers != 1:
         # Validate the shape up front so a bad worker count fails before
@@ -260,6 +274,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             intensity=args.intensity,
             population=config.population,
             overload=overload,
+            seeder_death=seeder_death,
         )
         if workers != 1:
             from repro.experiments.sharded import run_sharded_experiment
@@ -361,6 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
             "add sustained open-loop overload: saturating traffic, bounded "
             "directory admission queues, replica-aware shedding, and the "
             "sustained_overload phase in the generated plans"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--seeder-death",
+        action="store_true",
+        help=(
+            "add swarming transfer chaos: chunked multi-source transfers "
+            "over a bandwidth-limited network and the seeder_death phase "
+            "(kill the top uploaders mid-window) in the generated plans"
         ),
     )
     chaos_parser.add_argument(

@@ -98,6 +98,22 @@ class ExperimentConfig:
         overload_shedding: replica-aware PetalUp splits and direct
             member shedding to the warm ring successor (off = the
             paper's empty-view split + instance scan).
+        swarming: chunked multi-source transfers with per-chunk failover
+            (:mod:`repro.cdn.swarm`).  Off = the paper's atomic-fetch
+            model, bit-identical to the pre-swarming goldens.
+        swarm_parallel / swarm_sources / swarm_resume / swarm_replicate /
+            swarm_stall_ms / swarm_retry_ms: see
+            :class:`~repro.cdn.base.ProtocolParams`.
+        object_mean_kb / object_alpha / object_max_kb / swarm_chunk_kb:
+            the seeded bounded-Pareto object-size model
+            (:mod:`repro.workload.objectsize`); only built when
+            ``swarming`` is on.
+        bandwidth_kbps: per-peer upload capacity of the optional
+            fair-share bandwidth model (:mod:`repro.net.bandwidth`).
+            0 = off, the default: links stay latency-only.
+        bandwidth_link_kbps: optional per-flow rate cap (0 = none).
+        bandwidth_slow_fraction / bandwidth_slow_factor: deterministic
+            fraction of peers whose uplink is ``capacity / factor``.
     """
 
     population: int = 3000
@@ -137,6 +153,21 @@ class ExperimentConfig:
     directory_queue_limit: int = 0
     directory_service_ms: float = 40.0
     overload_shedding: bool = False
+    swarming: bool = False
+    swarm_parallel: int = 4
+    swarm_sources: int = 4
+    swarm_resume: bool = True
+    swarm_replicate: int = 0
+    swarm_stall_ms: float = 8000.0
+    swarm_retry_ms: float = 200.0
+    swarm_chunk_kb: int = 64
+    object_mean_kb: float = 64.0
+    object_alpha: float = 1.5
+    object_max_kb: float = 4096.0
+    bandwidth_kbps: float = 0.0
+    bandwidth_link_kbps: float = 0.0
+    bandwidth_slow_fraction: float = 0.0
+    bandwidth_slow_factor: float = 8.0
 
     def __post_init__(self) -> None:
         if self.rpc_retries < 0:
@@ -177,6 +208,20 @@ class ExperimentConfig:
             raise ConfigError("directory_queue_limit must be >= 0")
         if self.directory_service_ms <= 0:
             raise ConfigError("directory_service_ms must be positive")
+        if self.swarm_chunk_kb < 1:
+            raise ConfigError("swarm_chunk_kb must be >= 1")
+        if self.object_mean_kb <= 0:
+            raise ConfigError("object_mean_kb must be positive")
+        if self.object_alpha <= 1.0:
+            raise ConfigError("object_alpha must be > 1")
+        if self.object_max_kb < self.object_mean_kb:
+            raise ConfigError("object_max_kb must be >= object_mean_kb")
+        if self.bandwidth_kbps < 0 or self.bandwidth_link_kbps < 0:
+            raise ConfigError("bandwidth rates must be >= 0")
+        if not 0.0 <= self.bandwidth_slow_fraction <= 1.0:
+            raise ConfigError("bandwidth_slow_fraction must be in [0, 1]")
+        if self.bandwidth_slow_factor < 1.0:
+            raise ConfigError("bandwidth_slow_factor must be >= 1")
         if self.population < 1:
             raise ConfigError("population must be positive")
         if not 0.0 <= self.message_loss_rate < 1.0:
@@ -226,6 +271,13 @@ class ExperimentConfig:
             directory_queue_limit=self.directory_queue_limit,
             directory_service_ms=self.directory_service_ms,
             overload_shedding=self.overload_shedding,
+            swarming=self.swarming,
+            swarm_parallel=self.swarm_parallel,
+            swarm_sources=self.swarm_sources,
+            swarm_resume=self.swarm_resume,
+            swarm_replicate=self.swarm_replicate,
+            swarm_stall_ms=self.swarm_stall_ms,
+            swarm_retry_ms=self.swarm_retry_ms,
             dring=RingParams(
                 bits=self.chord_bits,
                 successor_list_size=self.chord_successor_list,

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
 from repro.metrics.collector import SERVED_OUTCOMES, MetricsCollector
-from repro.metrics.distribution import Distribution
+from repro.metrics.distribution import Distribution, WeightedDistribution
 from repro.metrics.timeseries import RatioSeries
 from repro.sim.clock import HOUR
 
@@ -34,6 +34,10 @@ class ExperimentResult:
         hit_ratio_curve: (hour, cumulative hit ratio) points (Figure 3).
         lookup_cdf / transfer_cdf: (ms, cumulative fraction) points
             (Figures 4 and 5).
+        transfer_cdf_bytes: (ms, cumulative *byte* fraction) points --
+            the transfer-distance CDF weighted by object size under the
+            heavy-tailed size model (Figure 5, byte-weighted view).
+        mean_transfer_bytes_ms: byte-weighted mean transfer distance.
         events_executed / messages_sent: simulator effort accounting.
         arrivals / departures: churn volume.
         extra: protocol-specific counters (directory count, ring size, ...).
@@ -55,6 +59,8 @@ class ExperimentResult:
     messages_sent: int = 0
     arrivals: int = 0
     departures: int = 0
+    transfer_cdf_bytes: List[Tuple[float, float]] = field(default_factory=list)
+    mean_transfer_bytes_ms: float = 0.0
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -85,6 +91,17 @@ class ExperimentResult:
         ]
         lookup = Distribution(metrics.lookup_latencies())
         transfer = Distribution(metrics.transfer_distances())
+        # Byte-weighted transfer view: each served record weighted by its
+        # object's size under the (deterministic, seed-keyed) heavy-tailed
+        # model.  Computed post-hoc so latency-only runs get it too.
+        from repro.workload.objectsize import ObjectSizeModel
+
+        sizes = ObjectSizeModel(seed=seed)
+        weighted = WeightedDistribution(
+            (record.transfer_ms, sizes.size_bytes(record.object_key))
+            for record in metrics.records
+            if record.outcome in SERVED_OUTCOMES
+        )
         return cls(
             protocol=protocol,
             seed=seed,
@@ -103,6 +120,8 @@ class ExperimentResult:
             hit_ratio_curve=curve,
             lookup_cdf=lookup.cdf_points(250),
             transfer_cdf=transfer.cdf_points(250),
+            transfer_cdf_bytes=weighted.cdf_points(250),
+            mean_transfer_bytes_ms=weighted.mean(),
             **kwargs,
         )
 
@@ -121,6 +140,8 @@ class ExperimentResult:
             "hit_ratio_curve": [list(p) for p in self.hit_ratio_curve],
             "lookup_cdf": [list(p) for p in self.lookup_cdf],
             "transfer_cdf": [list(p) for p in self.transfer_cdf],
+            "transfer_cdf_bytes": [list(p) for p in self.transfer_cdf_bytes],
+            "mean_transfer_bytes_ms": self.mean_transfer_bytes_ms,
             "events_executed": self.events_executed,
             "messages_sent": self.messages_sent,
             "arrivals": self.arrivals,

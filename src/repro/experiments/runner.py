@@ -137,6 +137,38 @@ def build_world(
     system = system_cls(
         sim, network, binner, catalog, config.protocol_params()
     )
+    if config.swarming:
+        # Chunked swarming transfers: attach the seeded object-size model
+        # (shared with the origin servers for byte accounting) and, when
+        # configured, the fair-share bandwidth model.  Both are strictly
+        # opt-in: off, no model is built and runs stay bit-identical to
+        # the atomic-fetch goldens.
+        from repro.workload.objectsize import ObjectSizeModel
+
+        system.install_sizes(
+            ObjectSizeModel(
+                mean_kb=config.object_mean_kb,
+                alpha=config.object_alpha,
+                max_kb=config.object_max_kb,
+                chunk_kb=config.swarm_chunk_kb,
+                seed=seed,
+            )
+        )
+    if config.bandwidth_kbps > 0.0:
+        from repro.net.bandwidth import BandwidthModel, BandwidthParams
+
+        network.install_bandwidth(
+            BandwidthModel(
+                sim,
+                BandwidthParams(
+                    upload_kbps=config.bandwidth_kbps,
+                    link_kbps=config.bandwidth_link_kbps,
+                    slow_fraction=config.bandwidth_slow_fraction,
+                    slow_factor=config.bandwidth_slow_factor,
+                    seed=seed,
+                ),
+            )
+        )
     search_probes: Optional[SearchProbeWorkload] = None
     if config.search_keywords > 0 and isinstance(system, FlowerSystem):
         # Keyword-search extension (section 5.4).  Installed before the
@@ -243,6 +275,8 @@ def run_experiment(
             or config.overload_shedding
         ):
             extra["overload"] = system.overload_stats()
+    if config.swarming:
+        extra["swarm"] = system.swarm_stats()
     if world.openloop is not None:
         extra["openloop"] = dict(world.openloop.stats)
     if isinstance(system, SquirrelSystem):

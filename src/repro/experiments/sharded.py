@@ -309,7 +309,7 @@ def run_sharded_experiment(
         workers: worker processes; must divide the shard count.  1 runs
             every shard in-process (no IPC, same results by construction).
         num_shards: shard count (default: one per locality, folded to fit
-            the 16-shard address space).
+            the packed address space of :data:`repro.net.shardnet.MAX_SHARDS`).
         window_ms: conservative window (default: latency_max / 2).
         fingerprint: also compute per-shard SHA-256 stream fingerprints
             (slows the run; used by the invariance tests).

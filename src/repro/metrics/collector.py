@@ -18,9 +18,16 @@ outcome             meaning                                        P2P hit?
                     collaborated (Flower, section 3.2)             yes
 ``hit_home``        served by a home-node replica (Squirrel's
                     home-store strategy, section 2)                yes
+``hit_swarm``       chunked multi-source transfer completed
+                    entirely from petal holders (swarming
+                    extension; only occurs with ``swarming``)      yes
 ``miss_server``     no copy found: fetched from the origin server  no
 ``miss_failed``     routing failed (lookup error / timeout);
                     fetched from the origin server                 no
+``miss_degraded``   a chunked transfer lost its P2P sources and
+                    fetched the *remaining* chunks (or, cold,
+                    the whole object again) from the origin
+                    (swarming extension)                           no
 ``failed_crash``    the querier crashed before the query could
                     terminate; finalized by the crash sweep so
                     the lifecycle ledger never leaks              n/a
@@ -53,11 +60,18 @@ from repro.types import LocalityId, ObjectKey, WebsiteId
 
 #: Outcomes counted as "served from the P2P system".
 HIT_OUTCOMES = frozenset(
-    {"hit_local", "hit_summary", "hit_directory", "hit_transfer", "hit_home"}
+    {
+        "hit_local",
+        "hit_summary",
+        "hit_directory",
+        "hit_transfer",
+        "hit_home",
+        "hit_swarm",
+    }
 )
 
-#: Outcomes served by the origin web server.
-MISS_OUTCOMES = frozenset({"miss_server", "miss_failed"})
+#: Outcomes served (at least partly) by the origin web server.
+MISS_OUTCOMES = frozenset({"miss_server", "miss_failed", "miss_degraded"})
 
 #: Terminal-but-not-served outcomes (crash sweeps, unreachable origin).
 #: They close the query-lifecycle ledger without counting as served

@@ -29,8 +29,9 @@ without any shared mutable state between shards:
    order (see :mod:`repro.sim.sharded`).
 
 Because ``Network._link_latency`` packs latency-cache keys as
-``(src << 20) | dst``, the full sharded address space must stay below
-``2**20``: with 16-bit blocks that caps the map at 16 shards.
+``(src << ADDR_SHIFT) | dst``, the full sharded address space must stay
+below ``2**ADDR_SHIFT`` (32 bits today): with 16-bit blocks that caps
+the map at 65536 shards — far beyond any practical host count.
 """
 
 from __future__ import annotations
@@ -43,7 +44,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.errors import ConfigError, TransportError
 from repro.net.message import Message
 from repro.net.topology import Topology
-from repro.net.transport import Network, NetworkNode, _RpcContext
+from repro.net.transport import ADDR_SHIFT, Network, NetworkNode, _RpcContext
 from repro.sim.engine import Simulator
 from repro.sim.rng import derive_seed
 from repro.types import Address, Coordinate, LocalityId
@@ -51,9 +52,10 @@ from repro.types import Address, Coordinate, LocalityId
 #: Bits per shard address block (64k addresses per shard).
 BLOCK_BITS = 16
 
-#: Hard cap on shards: (num_shards << BLOCK_BITS) must stay below 2**20
-#: because the transport's latency cache packs keys as (src << 20) | dst.
-MAX_SHARDS = 1 << (20 - BLOCK_BITS)
+#: Hard cap on shards: (num_shards << BLOCK_BITS) must stay below
+#: 2**ADDR_SHIFT because the transport's latency cache packs keys as
+#: (src << ADDR_SHIFT) | dst.
+MAX_SHARDS = 1 << (ADDR_SHIFT - BLOCK_BITS)
 
 #: Outbox entry tags (tuple position 0).
 MSG = "m"
@@ -68,7 +70,7 @@ class ShardMap:
     shard carries the same number of localities.
 
     Args:
-        num_shards: number of shards (1..16).
+        num_shards: number of shards (1..MAX_SHARDS).
         num_localities: the experiment's locality count k.
         num_websites: |W|; sizes the per-shard origin-server block.
     """

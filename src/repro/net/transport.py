@@ -41,6 +41,18 @@ FailureCallback = Callable[[], None]
 #: Drop causes tracked by :attr:`Network.drop_counts`.
 DROP_CAUSES = ("loss", "dead_dst", "partition")
 
+#: Bit width of one address inside a packed latency-cache key: keys are
+#: ``(src << ADDR_SHIFT) | dst`` because a single int hash is markedly
+#: cheaper than building and hashing a tuple on every send/rpc/reply.
+#: 32 bits accommodates the sharded address space (16-bit shard id +
+#: 16-bit per-shard block -- see ``repro.net.shardnet``) with room to
+#: spare; :meth:`Network.register` rejects addresses at or beyond this
+#: bound so the packing can never silently alias two links.
+ADDR_SHIFT = 32
+
+#: First address that no longer fits the packed-key scheme.
+MAX_PACKED_ADDRESS = 1 << ADDR_SHIFT
+
 
 class NetworkNode:
     """Base class of every protocol endpoint.
@@ -116,12 +128,12 @@ class NetworkNode:
         message.request_id = None
         network.messages_sent += 1
         network.kind_counts[kind] += 1
-        # Network._link_latency, inlined (int key: see that method).
+        # Network._link_latency, inlined (int key, shift = ADDR_SHIFT).
         cache = network._latency_cache
-        latency = cache.get((src_addr << 20) | dst)
+        latency = cache.get((src_addr << 32) | dst)
         if latency is None:
             latency = network.topology.latency(src_addr, dst)
-            cache[(src_addr << 20) | dst] = latency
+            cache[(src_addr << 32) | dst] = latency
         if network.faults is not None:
             latency = network.faults.latency_adjust(src_addr, dst, latency)
         # sim.defer, inlined (one delivery event per message).
@@ -170,12 +182,12 @@ class NetworkNode:
         context.on_reply = on_reply
         context.on_timeout = on_timeout
         context.settled = False
-        # Network._link_latency, inlined (int key: see that method).
+        # Network._link_latency, inlined (int key, shift = ADDR_SHIFT).
         cache = network._latency_cache
-        latency = cache.get((src_addr << 20) | dst)
+        latency = cache.get((src_addr << 32) | dst)
         if latency is None:
             latency = network.topology.latency(src_addr, dst)
-            cache[(src_addr << 20) | dst] = latency
+            cache[(src_addr << 32) | dst] = latency
         if network.faults is not None:
             latency = network.faults.latency_adjust(src_addr, dst, latency)
         # Two sim.defer calls, inlined: timeout event then request delivery
@@ -325,6 +337,12 @@ class Network:
         #: scheduling time (latency degradation) and delivery time (partition
         #: cuts, bursty loss).
         self.faults = None
+        #: optional :class:`~repro.net.bandwidth.BandwidthModel`.  ``None``
+        #: (the default) keeps the latency-only link model bit-identical to
+        #: the pre-bandwidth build: no flow objects, no extra events, no RNG
+        #: draws.  The swarming transfer layer consults it for payload
+        #: transfer times; control messages always stay latency-only.
+        self.bandwidth = None
 
     # ------------------------------------------------------------ fault model
     @property
@@ -351,6 +369,10 @@ class Network:
         """Attach a :class:`~repro.net.faults.FaultController` to delivery."""
         self.faults = controller
 
+    def install_bandwidth(self, model) -> None:
+        """Attach a :class:`~repro.net.bandwidth.BandwidthModel`."""
+        self.bandwidth = model
+
     def configure_loss(self, rate: float, rng: "random.Random") -> None:
         """Drop each delivery (requests, replies, one-ways) i.i.d. with
         probability *rate* -- failure injection beyond crash churn.
@@ -375,6 +397,13 @@ class Network:
     def register(self, node: NetworkNode, cluster_hint: Optional[int] = None) -> Address:
         """Register *node*, place it in the topology, return its address."""
         address = len(self._nodes)
+        if address >= MAX_PACKED_ADDRESS:
+            # The latency cache packs (src, dst) into one int; an address
+            # beyond the shift width would silently alias another link.
+            raise TransportError(
+                f"address {address} exceeds the {ADDR_SHIFT}-bit packed "
+                f"latency-cache key space"
+            )
         self._nodes.append(node)
         self.topology.register(address, cluster_hint)
         return address
@@ -406,11 +435,12 @@ class Network:
 
         Base latencies are memoized per directed pair (topologies are static;
         symmetric pairs simply occupy two entries).  Keys are single ints --
-        ``(src << 20) | dst`` -- because an int hash is markedly cheaper than
-        building and hashing a tuple on every send/rpc/reply.  Addresses are
-        sequential node indices, far below 2**20.
+        ``(src << ADDR_SHIFT) | dst`` -- because an int hash is markedly
+        cheaper than building and hashing a tuple on every send/rpc/reply.
+        :meth:`register` guarantees every address fits in ``ADDR_SHIFT``
+        bits, so the packing never aliases two links.
         """
-        key = (src << 20) | dst
+        key = (src << ADDR_SHIFT) | dst
         cache = self._latency_cache
         base = cache.get(key)
         if base is None:
@@ -504,12 +534,12 @@ class Network:
         if context is not None:
             self.messages_sent += 1
             src = message.src
-            # Network._link_latency, inlined (int key: see that method).
+            # Network._link_latency, inlined (int key, shift = ADDR_SHIFT).
             cache = self._latency_cache
-            latency = cache.get((dst << 20) | src)
+            latency = cache.get((dst << 32) | src)
             if latency is None:
                 latency = self.topology.latency(dst, src)
-                cache[(dst << 20) | src] = latency
+                cache[(dst << 32) | src] = latency
             if self.faults is not None:
                 latency = self.faults.latency_adjust(dst, src, latency)
             # sim.defer, inlined (one reply event per answered RPC).

@@ -51,6 +51,62 @@ class TestAdmissionQueue:
         # Rejection leaves the backlog untouched.
         assert role.busy_until == 120.0
 
+    # -------------------------------------------- two-class admission
+    def test_foreign_limit_reserves_the_top_quarter(self):
+        assert DirectoryRole.foreign_limit(1) == 1
+        assert DirectoryRole.foreign_limit(2) == 1
+        assert DirectoryRole.foreign_limit(4) == 3
+        assert DirectoryRole.foreign_limit(8) == 6
+        assert DirectoryRole.foreign_limit(100) == 75
+        # Never zero, never the full queue (for limit >= 2).
+        for limit in range(2, 64):
+            bound = DirectoryRole.foreign_limit(limit)
+            assert 1 <= bound < limit
+
+    def test_foreign_sheds_where_a_member_is_still_admitted(self):
+        role = self.make_role()
+        # Fill to the foreign bound (3 of 4 slots).
+        for _ in range(3):
+            assert role.admit(now=0.0, service_ms=40.0, limit=4, foreign=True)[0]
+        # Depth 3 == foreign_limit(4): the next foreign scan sheds ...
+        admitted, _, depth = role.admit(
+            now=0.0, service_ms=40.0, limit=4, foreign=True
+        )
+        assert not admitted and depth == 3
+        assert role.queries_shed == 1
+        assert role.foreign_shed == 1
+        # ... while a petal member at the same instant still gets in.
+        admitted, wait, depth = role.admit(now=0.0, service_ms=40.0, limit=4)
+        assert admitted and depth == 3 and wait == 120.0
+
+    def test_member_shed_does_not_count_as_foreign(self):
+        role = self.make_role()
+        for _ in range(2):
+            role.admit(now=0.0, service_ms=40.0, limit=2)
+        admitted, *_ = role.admit(now=0.0, service_ms=40.0, limit=2)
+        assert not admitted
+        assert role.queries_shed == 1
+        assert role.foreign_shed == 0
+
+    def test_idle_directory_never_starves_foreign_scans(self):
+        # Even the tightest queue (limit=1, foreign bound 1) admits a
+        # foreign scan when idle -- starvation bound of the two-class
+        # design.
+        role = self.make_role()
+        admitted, wait, depth = role.admit(
+            now=0.0, service_ms=40.0, limit=1, foreign=True
+        )
+        assert admitted and wait == 0.0 and depth == 0
+
+    def test_foreign_class_drains_and_readmits(self):
+        role = self.make_role()
+        for _ in range(3):
+            role.admit(now=0.0, service_ms=40.0, limit=4, foreign=True)
+        assert not role.admit(now=0.0, service_ms=40.0, limit=4, foreign=True)[0]
+        # After one service time the backlog has drained one slot.
+        admitted, *_ = role.admit(now=40.0, service_ms=40.0, limit=4, foreign=True)
+        assert admitted
+
     def test_backlog_drains_with_time(self):
         role = self.make_role()
         for _ in range(3):

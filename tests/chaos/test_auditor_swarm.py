@@ -1,0 +1,175 @@
+"""Unit tests for the auditor's transfer-ledger invariant (I9).
+
+Every chunked transfer must open exactly once, count each chunk's bytes
+exactly once per generation, and close with a terminal ``swarm.done``
+whose byte report matches the per-chunk ledger -- for completed and
+degraded closes, matches the declared object size with every chunk
+present.  Like the I8 tests, the auditor is driven synthetically: events
+go straight into the trace, so each case isolates one ledger rule.
+"""
+
+from repro.chaos.auditor import InvariantAuditor
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_world
+from repro.sim.clock import minutes
+
+KEY = (0, 3)
+PEER = 7
+
+
+def make_audited_world():
+    config = ExperimentConfig.scaled(
+        population=20,
+        duration_hours=1.0,
+        num_websites=2,
+        num_active_websites=1,
+        num_localities=1,
+        objects_per_website=10,
+    )
+    world = build_world("flower", config, seed=2)
+    auditor = InvariantAuditor(world, results_dir=None)
+    return world, auditor
+
+
+def transfer_violations(auditor):
+    return [v for v in auditor.violations if v.kind.startswith(("transfer", "chunk"))]
+
+
+def open_transfer(world, chunks=2, size=100):
+    world.sim.emit("swarm.start", peer=PEER, key=KEY, chunks=chunks, size=size)
+
+
+def chunk_done(world, chunk, size, source=11):
+    world.sim.emit(
+        "swarm.chunk_done", peer=PEER, key=KEY, chunk=chunk, source=source, bytes=size
+    )
+
+
+def close_transfer(world, outcome, bytes=0, origin_bytes=0, size=100):
+    world.sim.emit(
+        "swarm.done",
+        peer=PEER,
+        key=KEY,
+        outcome=outcome,
+        bytes=bytes,
+        origin_bytes=origin_bytes,
+        size=size,
+        elapsed_ms=50.0,
+    )
+
+
+def test_clean_completed_transfer_accounts_fully():
+    world, auditor = make_audited_world()
+    open_transfer(world, chunks=2, size=100)
+    chunk_done(world, 0, 60)
+    chunk_done(world, 1, 40)
+    close_transfer(world, "completed", bytes=100)
+    assert not transfer_violations(auditor)
+    assert auditor.stats["transfers_opened"] == 1
+    assert auditor.stats["transfers_closed"] == 1
+    assert auditor.stats["transfers_degraded"] == 0
+
+
+def test_degraded_close_counts_origin_chunks_too():
+    world, auditor = make_audited_world()
+    open_transfer(world, chunks=2, size=100)
+    chunk_done(world, 0, 60)            # from a peer
+    chunk_done(world, 1, 40, source=0)  # failed over to the origin
+    close_transfer(world, "degraded", bytes=60, origin_bytes=40)
+    assert not transfer_violations(auditor)
+    assert auditor.stats["transfers_degraded"] == 1
+
+
+def test_successful_close_with_a_missing_chunk_is_inconsistent():
+    world, auditor = make_audited_world()
+    open_transfer(world, chunks=2, size=100)
+    chunk_done(world, 0, 60)
+    close_transfer(world, "completed", bytes=100)
+    (violation,) = transfer_violations(auditor)
+    assert violation.kind == "transfer_bytes_inconsistent"
+    assert violation.details["chunks_done"] == 1
+
+
+def test_double_counted_chunk_is_a_violation():
+    world, auditor = make_audited_world()
+    open_transfer(world, chunks=2, size=100)
+    chunk_done(world, 0, 60)
+    chunk_done(world, 0, 60)
+    (violation,) = transfer_violations(auditor)
+    assert violation.kind == "chunk_double_counted"
+
+
+def test_chunk_without_an_open_transfer_is_a_violation():
+    world, auditor = make_audited_world()
+    chunk_done(world, 0, 60)
+    (violation,) = transfer_violations(auditor)
+    assert violation.kind == "chunk_without_transfer"
+
+
+def test_close_without_an_open_transfer_is_a_violation():
+    world, auditor = make_audited_world()
+    close_transfer(world, "completed", bytes=100)
+    (violation,) = transfer_violations(auditor)
+    assert violation.kind == "transfer_double_closed"
+
+
+def test_reopen_without_a_close_is_a_violation():
+    world, auditor = make_audited_world()
+    open_transfer(world)
+    open_transfer(world)
+    (violation,) = transfer_violations(auditor)
+    assert violation.kind == "transfer_reopened"
+
+
+def test_restart_resets_the_generation_accounting():
+    world, auditor = make_audited_world()
+    open_transfer(world, chunks=2, size=100)
+    chunk_done(world, 0, 60)
+    world.sim.emit("swarm.restart", peer=PEER, key=KEY)
+    # The same chunk landing again after a restart is NOT double-counted:
+    # the restart discarded the first generation's progress.
+    chunk_done(world, 0, 60, source=0)
+    chunk_done(world, 1, 40, source=0)
+    close_transfer(world, "degraded", bytes=0, origin_bytes=100)
+    assert not transfer_violations(auditor)
+    assert auditor.stats["transfer_restarts"] == 1
+
+
+def test_failed_close_may_be_partial_but_must_match_the_ledger():
+    world, auditor = make_audited_world()
+    open_transfer(world, chunks=2, size=100)
+    chunk_done(world, 0, 60)
+    close_transfer(world, "failed", bytes=60)
+    assert not transfer_violations(auditor)
+    assert auditor.stats["transfers_failed"] == 1
+
+    open_transfer(world, chunks=2, size=100)
+    close_transfer(world, "failed", bytes=60)  # reported > ledger: lie
+    (violation,) = transfer_violations(auditor)
+    assert violation.kind == "transfer_bytes_inconsistent"
+
+
+def test_unknown_outcome_is_a_violation():
+    world, auditor = make_audited_world()
+    open_transfer(world, chunks=1, size=100)
+    chunk_done(world, 0, 100)
+    close_transfer(world, "teleported", bytes=100)
+    (violation,) = transfer_violations(auditor)
+    assert violation.kind == "transfer_bad_outcome"
+
+
+def test_transfer_open_past_the_grace_bound_leaks():
+    world, auditor = make_audited_world()
+    open_transfer(world)
+    world.sim.run(until=minutes(6.0))  # grace is 5 minutes
+    auditor.finalize()
+    assert any(v.kind == "transfer_leaked" for v in auditor.violations)
+
+
+def test_chunk_retries_are_tallied():
+    world, auditor = make_audited_world()
+    open_transfer(world)
+    world.sim.emit(
+        "swarm.chunk_retry", peer=PEER, key=KEY, chunk=0, source=11, reason="timeout"
+    )
+    assert auditor.stats["chunk_retries"] == 1

@@ -6,6 +6,7 @@ from repro.chaos.plan import (
     ChaosPhase,
     ChaosPlan,
     ChurnSurgeSpec,
+    SeederDeathSpec,
     generate_plan,
     spec_from_dict,
     spec_to_dict,
@@ -15,7 +16,7 @@ from repro.net.faults import BurstyLossSpec, MassFailureSpec, PartitionSpec
 from repro.sim.clock import hours
 
 
-def make_plan(chaos_seed=7, horizon_h=6.0, intensity=1.0):
+def make_plan(chaos_seed=7, horizon_h=6.0, intensity=1.0, **kwargs):
     return generate_plan(
         chaos_seed,
         horizon_ms=hours(horizon_h),
@@ -23,6 +24,7 @@ def make_plan(chaos_seed=7, horizon_h=6.0, intensity=1.0):
         num_websites=12,
         intensity=intensity,
         population=120,
+        **kwargs,
     )
 
 
@@ -119,6 +121,46 @@ def test_split_brain_phase_wipes_directories_inside_the_cut():
     assert found > 0, "30 seeds at weight 1.0 must produce split_brain phases"
 
 
+def test_seeder_death_is_opt_in_and_byte_compatible():
+    """Without the kwarg the menu, RNG stream and serialized form are
+    exactly the classic ones -- replay bundles stay valid."""
+    for seed in range(12):
+        classic = make_plan(chaos_seed=seed)
+        assert classic == make_plan(chaos_seed=seed, seeder_death=False)
+        assert classic.seeder_deaths == ()
+        assert "seeder_deaths" not in classic.to_dict()
+
+
+def test_seeder_death_phases_produce_bounded_strikes():
+    found = 0
+    for seed in range(12):
+        plan = make_plan(chaos_seed=seed, intensity=2.0, seeder_death=True)
+        for spec in plan.seeder_deaths:
+            found += 1
+            assert 0.0 <= spec.at_ms <= plan.horizon_ms
+            assert spec.count >= 1
+            assert spec.hot_website is None or 0 <= spec.hot_website < 12
+        if plan.seeder_deaths:
+            # The strike lands inside a declared seeder_death phase.
+            windows = [
+                (p.start_ms, p.end_ms)
+                for p in plan.phases
+                if p.kind == "seeder_death"
+            ]
+            for spec in plan.seeder_deaths:
+                assert any(lo <= spec.at_ms <= hi for lo, hi in windows)
+            # And the opted-in plan still round-trips.
+            assert ChaosPlan.from_dict(plan.to_dict()) == plan
+    assert found > 0, "12 seeds with the kwarg must produce seeder deaths"
+
+
+def test_seeder_death_spec_validation():
+    with pytest.raises(ConfigError):
+        SeederDeathSpec(at_ms=-1.0, count=1)
+    with pytest.raises(ConfigError):
+        SeederDeathSpec(at_ms=0.0, count=0)
+
+
 def test_generate_plan_validation():
     with pytest.raises(ConfigError):
         make_plan(horizon_h=-1.0)
@@ -150,6 +192,8 @@ def test_spec_registry_round_trips_every_type():
         MassFailureSpec(at_ms=5.0, fraction=0.25, directories_only=True),
         BurstyLossSpec(p_good_to_bad=0.1, p_bad_to_good=0.4),
         ChurnSurgeSpec(start_ms=0.0, duration_ms=100.0, arrivals=4, hot_website=2),
+        SeederDeathSpec(at_ms=30.0, count=3, hot_website=1),
+        SeederDeathSpec(at_ms=30.0, count=1),
         ChaosPhase("calm", 0.0, 50.0),
     ]
     for spec in specs:

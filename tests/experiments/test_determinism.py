@@ -131,6 +131,41 @@ def test_overload_off_matches_the_golden_stream():
 
 
 @pytest.mark.slow
+def test_swarming_off_matches_the_golden_stream():
+    """Swarming and bandwidth disabled is the golden build, bit for bit.
+
+    The swarming extension (object sizes, chunked multi-source
+    transfers, the fair-share bandwidth model) is gated on ``swarming``
+    and ``bandwidth_kbps > 0``: with both off no size model is
+    installed, no bandwidth model attaches to the network, no flow or
+    swarm event is ever scheduled, and provider replies carry no extra
+    hints.  Varying every harmless swarm knob with the gates closed must
+    reproduce the exact pinned fingerprint; if this test moves, some
+    swarming code leaked outside its gate.
+    """
+    config = golden_config().replace(
+        swarming=False,
+        swarm_parallel=8,
+        swarm_sources=2,
+        swarm_resume=False,
+        swarm_replicate=3,
+        swarm_stall_ms=123.0,
+        swarm_retry_ms=45.0,
+        swarm_chunk_kb=16,
+        object_mean_kb=512.0,
+        object_alpha=2.5,
+        bandwidth_kbps=0.0,
+        bandwidth_link_kbps=999.0,
+        bandwidth_slow_fraction=0.9,
+        bandwidth_slow_factor=4.0,
+    )
+    sha, hit_ratio, _ = run_world("flower", firehose=True, config=config)
+    golden_sha, golden_hit = GOLDEN["flower"]
+    assert sha == golden_sha
+    assert hit_ratio == golden_hit
+
+
+@pytest.mark.slow
 def test_same_seed_reruns_are_bit_identical():
     """Two fresh worlds from the same seed produce the same stream."""
     first = run_world("flower", firehose=True)
