@@ -107,7 +107,11 @@ ACCOUNTING_GRACE = minutes(2.0)
 
 
 def _overload_config(
-    replication_k: int, shedding: bool, population: int = POPULATION
+    replication_k: int,
+    shedding: bool,
+    population: int = POPULATION,
+    hints: bool = False,
+    rebalance: bool = False,
 ) -> ExperimentConfig:
     return ExperimentConfig.scaled(
         population=population,
@@ -130,6 +134,17 @@ def _overload_config(
         directory_queue_limit=6,
         directory_service_ms=400.0,
         overload_shedding=shedding,
+        redirect_hints=hints,
+        rebalance=rebalance,
+        # Reactive-arm operating point: sweeps tick hourly, so a non-zero
+        # cooldown would leave each pressured directory a single spill
+        # pass inside the 3h overload window.  Spill every pressured
+        # sweep, wide enough (32 keys) to cover the hot set -- the petals
+        # hold ~P/4 members each, so narrower passes dilute into the
+        # zero-fetch tail and the window Gini barely moves.
+        rebalance_cooldown_rounds=0,
+        rebalance_max_keys=32,
+        rebalance_budget_kb=8192.0,
     )
 
 
@@ -183,29 +198,70 @@ def _window_loads(detail: Dict, baseline: Dict) -> List[float]:
     ]
 
 
+def _window_fetches(detail: Dict, baseline: Dict) -> List[float]:
+    """Per-content-peer overload-window fetch counts (content Gini input).
+
+    Same snapshot-diff convention as :func:`_window_loads`, and the same
+    loaded-petal scoping: peers of petals that saw no meaningful
+    overload-window fetch traffic (inactive websites, un-surged
+    localities) would otherwise drown the comparison in structural
+    inequality neither strategy controls.
+    """
+    windowed = {}
+    for address, entry in detail.items():
+        count = entry["fetches"] - baseline.get(address, 0)
+        if count < 0:
+            count = entry["fetches"]
+        windowed[address] = (entry["website"], entry["locality"], count)
+    petal_totals: Dict = {}
+    for website, locality, count in windowed.values():
+        petal = (website, locality)
+        petal_totals[petal] = petal_totals.get(petal, 0) + count
+    floor = _ACTIVE_PETAL_SHARE * sum(petal_totals.values())
+    return [
+        float(count)
+        for website, locality, count in windowed.values()
+        if petal_totals[(website, locality)] >= floor
+    ]
+
+
 def _run_arm(
-    replication_k: int, shedding: bool, population: int, seed: int
+    replication_k: int,
+    shedding: bool,
+    population: int,
+    seed: int,
+    hints: bool = False,
+    rebalance: bool = False,
 ) -> Dict:
-    config = _overload_config(replication_k, shedding, population=population)
+    config = _overload_config(
+        replication_k,
+        shedding,
+        population=population,
+        hints=hints,
+        rebalance=rebalance,
+    )
     world = build_world("petalup", config, seed)
     system = world.system
-    # Snapshot cumulative per-directory query counts as the overload
-    # window opens; the end-of-run diff gives each instance's share of
-    # the overload-window traffic (the directory-load Gini input).
+    # Snapshot cumulative per-directory query counts (and per-peer
+    # content fetches) as the overload window opens; the end-of-run diff
+    # gives each instance's/peer's share of the overload-window traffic
+    # (the Gini inputs).
     baseline_counts: Dict = {}
+    baseline_fetches: Dict = {}
 
     def _capture_baseline() -> None:
-        for address, detail in (
-            system.overload_stats()["directory_detail"].items()
-        ):
+        snapshot = system.stats().overload
+        for address, detail in snapshot.directory_detail.items():
             baseline_counts[address] = detail["queries"]
+        for address, detail in snapshot.content_detail.items():
+            baseline_fetches[address] = detail["fetches"]
 
     world.sim.schedule(OVERLOAD_WINDOW[0], _capture_baseline)
     world.run()
     records = system.metrics.records
     pre = _window_percentiles(records, PRE_WINDOW)
     over = _window_percentiles(records, OVERLOAD_WINDOW)
-    overload = system.overload_stats()
+    overload = system.stats().overload.to_dict()
     # Terminal accounting: every query old enough to have terminated must
     # have closed its ledger entry by the horizon (crash sweeps and sheds
     # both count as closed); queries issued within the grace of the
@@ -222,6 +278,8 @@ def _run_arm(
     return {
         "replication_k": replication_k,
         "overload_shedding": shedding,
+        "redirect_hints": hints,
+        "rebalance": rebalance,
         "pre": pre,
         "overload": over,
         "p99_ratio": (over["p99"] / pre["p99"]) if pre["p99"] > 0 else 0.0,
@@ -242,12 +300,21 @@ def _run_arm(
         # are poor gates: instances spawned mid-run are structurally
         # behind on the former, and keepalive migration equalizes the
         # latter long after the damage is done.
+        "hint_hops": overload["hint_hops"],
+        "hint_hits": overload["hint_hits"],
+        "hint_stale": overload["hint_stale"],
+        "rebalance_spills": overload["rebalance_spills"],
+        "rebalance_adoptions": overload["rebalance_adoptions"],
+        "rebalance_kb": overload["rebalance_kb"],
         "gini_directory_load": gini(
             _window_loads(overload["directory_detail"], baseline_counts)
         ),
         "gini_directory_members": gini(overload["directory_loads"]),
         "gini_directory_queries": gini(overload["directory_queries"]),
         "gini_content_load": gini(overload["content_fetches"]),
+        "gini_content_window": gini(
+            _window_fetches(overload["content_detail"], baseline_fetches)
+        ),
         "openloop": dict(world.openloop.stats),
     }
 
@@ -257,6 +324,16 @@ def run_cold_warm_ab(population: int = POPULATION, seed: int = SEED) -> Dict:
     return {
         "cold": _run_arm(0, False, population, seed),
         "warm": _run_arm(WARM_K, True, population, seed),
+    }
+
+
+def run_rebalance_ab(population: int = POPULATION, seed: int = SEED) -> Dict:
+    """The warm vs warm+hints+rebalance (reactive overload) A/B."""
+    return {
+        "warm": _run_arm(WARM_K, True, population, seed),
+        "rebalance": _run_arm(
+            WARM_K, True, population, seed, hints=True, rebalance=True
+        ),
     }
 
 
@@ -314,6 +391,61 @@ def _ab_acceptable(ab: Dict) -> bool:
     return warm["gini_directory_load"] < cold["gini_directory_load"]
 
 
+def _rebalance_table(ab: Dict, population: int, seed: int) -> str:
+    rows = []
+    for label in ("warm", "rebalance"):
+        entry = ab[label]
+        rows.append(
+            [
+                label,
+                f"{entry['overload']['p99']:.0f} ms",
+                entry["directory_sheds"],
+                entry["hint_hops"],
+                entry["hint_hits"],
+                entry["hint_stale"],
+                entry["rebalance_spills"],
+                entry["rebalance_adoptions"],
+                f"{entry['gini_content_window']:.3f}",
+                f"{entry['accounted_fraction']:.1%}",
+            ]
+        )
+    return render_table(
+        [
+            "mode",
+            "overload p99",
+            "dir sheds",
+            "hint hops",
+            "hint hits",
+            "stale",
+            "spills",
+            "adoptions",
+            "content Gini",
+            "accounted",
+        ],
+        rows,
+        title=(
+            f"warm vs hints+rebalance under sustained {SURGE_PEAK:.0f}x "
+            f"overload (P={population}, seed={seed})"
+        ),
+    )
+
+
+def _rebalance_acceptable(ab: Dict) -> bool:
+    """The ISSUE 10 acceptance gates for the reactive (third) arm."""
+    warm, reb = ab["warm"], ab["rebalance"]
+    # Rebalancing spreads overload-window content serving more evenly.
+    if reb["gini_content_window"] >= warm["gini_content_window"]:
+        return False
+    # Hint pre-routing plus extra holders reduce admission-queue sheds.
+    if reb["directory_sheds"] >= warm["directory_sheds"]:
+        return False
+    # ...without giving the tail back: overload p99 no worse than warm.
+    if reb["overload"]["p99"] > warm["overload"]["p99"]:
+        return False
+    # And the ledger still closes: nothing stale-open, in either arm.
+    return warm["stale_open"] == 0 and reb["stale_open"] == 0
+
+
 def test_replica_aware_shedding_beats_section4_scan(benchmark):
     ab = benchmark.pedantic(run_cold_warm_ab, rounds=1, iterations=1)
     emit_report("cloud_heavy_overload", _ab_table(ab, POPULATION, SEED))
@@ -326,10 +458,22 @@ def test_replica_aware_shedding_beats_section4_scan(benchmark):
     assert _ab_acceptable(ab)
 
 
+def test_hints_and_rebalance_act_on_the_gini(benchmark):
+    ab = benchmark.pedantic(run_rebalance_ab, rounds=1, iterations=1)
+    emit_report("cloud_heavy_rebalance", _rebalance_table(ab, POPULATION, SEED))
+    # The reactive arm actually reacted: hints routed, spills adopted.
+    assert ab["rebalance"]["hint_hops"] > 0
+    assert ab["rebalance"]["rebalance_adoptions"] > 0
+    # The warm arm never pays for machinery it did not enable.
+    assert ab["warm"]["hint_hops"] == 0
+    assert ab["warm"]["rebalance_spills"] == 0
+    assert _rebalance_acceptable(ab)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI front door: run the overload A/B and write the comparison."""
+    """CLI front door: run the overload arms and write the comparisons."""
     parser = argparse.ArgumentParser(
-        description="sustained-overload cold vs warm shedding A/B"
+        description="sustained-overload cold vs warm vs rebalance A/B"
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller population (CI smoke)"
@@ -338,32 +482,65 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--output", metavar="PATH", help="write the A/B comparison as JSON"
     )
+    parser.add_argument(
+        "--output-rebalance",
+        metavar="PATH",
+        help="write the warm vs rebalance comparison as JSON",
+    )
     args = parser.parse_args(argv)
     population = 120 if args.quick else POPULATION
-    ab = run_cold_warm_ab(population=population, seed=args.seed)
+    # Three arms, the warm one shared between both comparisons.
+    cold = _run_arm(0, False, population, args.seed)
+    warm = _run_arm(WARM_K, True, population, args.seed)
+    reactive = _run_arm(
+        WARM_K, True, population, args.seed, hints=True, rebalance=True
+    )
+    ab = {"cold": cold, "warm": warm}
+    reb_ab = {"warm": warm, "rebalance": reactive}
     table = _ab_table(ab, population, args.seed)
+    reb_table = _rebalance_table(reb_ab, population, args.seed)
     if args.quick:
-        # Don't clobber the committed full-scale artifact with a smoke run.
+        # Don't clobber the committed full-scale artifacts with a smoke run.
         print(table)
+        print(reb_table)
     else:
         emit_report("cloud_heavy_overload", table)
+        emit_report("cloud_heavy_rebalance", reb_table)
     ok = _ab_acceptable(ab)
+    reb_ok = _rebalance_acceptable(reb_ab)
     print(
         "overload gates (p99 cliff / accounting / Gini): "
         + ("all pass" if ok else "FAIL -- regression in overload handling")
+    )
+    print(
+        "rebalance gates (content Gini / sheds / p99 / accounting): "
+        + ("all pass" if reb_ok else "FAIL -- reactive arm regressed")
     )
     if args.output:
         payload = {
             "population": population,
             "seed": args.seed,
             "gates_pass": ok,
-            "cold": ab["cold"],
-            "warm": ab["warm"],
+            "cold": cold,
+            "warm": warm,
+            "rebalance": reactive,
+            "rebalance_gates_pass": reb_ok,
         }
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.output}")
-    return 0 if ok else 1
+    if args.output_rebalance:
+        payload = {
+            "population": population,
+            "seed": args.seed,
+            "gates_pass": reb_ok,
+            "warm": warm,
+            "rebalance": reactive,
+        }
+        with open(args.output_rebalance, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.output_rebalance}")
+    return 0 if ok and reb_ok else 1
 
 
 if __name__ == "__main__":

@@ -123,7 +123,7 @@ def run_search_availability_ab(
             "window": window,
             "full_run": full,
             "probes_issued": world.search_probes.issued,
-            "replication": world.system.replication_stats(),
+            "replication": world.system.stats().replication.to_dict(),
         }
     return out
 

@@ -154,7 +154,7 @@ def _run_arm(warm: bool, population: int, duration_hours: float, seed: int) -> D
         "swarm.done", lambda event: closes.append(dict(event.payload))
     )
     world.run()
-    stats = system.swarm_stats()
+    stats = system.stats().swarm.to_dict()
     # Terminal accounting: every transfer old enough to have terminated
     # must have closed (completed / degraded / failed); only transfers
     # started within the grace of the cut-off may still be open.

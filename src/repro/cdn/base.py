@@ -134,6 +134,35 @@ class ProtocolParams:
             (slow) source and fails over.
         swarm_retry_ms: base per-chunk retry backoff (doubled per
             attempt, capped).
+        redirect_hints: queue-aware redirect hints (overload extension).
+            When on (and ``directory_queue_limit > 0``) directories
+            piggyback their current admission-queue depth -- plus the
+            depths gossiped to them by sibling instances over the
+            replication channel -- on replies and keepalives, and clients
+            use the hints to pre-route a query to the least-loaded live
+            instance *before* the admission queue sheds it.  Off by
+            default: no hint is computed, shipped, or harvested, and runs
+            stay bit-identical to the hint-free build.
+        hint_ttl_ms: how long a harvested load hint stays actionable.
+            Queue depths are only meaningful while the overload that
+            produced them persists; a hint older than this is ignored
+            (and the entry dropped from routing decisions) rather than
+            extrapolated.
+        rebalance: shedding-aware content rebalancing.  When on, each
+            directory tracks windowed per-key fetch counts and -- once
+            overload pressure shows (sheds or a non-empty queue) -- spills
+            the top-Gini-contributing hot keys to its least-loaded members
+            (``flower.rebalance`` -> ``flower.fetch`` -> push), so
+            subsequent fetches fan out.  Off by default: no counts are
+            kept and no spill traffic exists.
+        rebalance_cooldown_rounds: sweep rounds a directory stays quiet
+            after one spill pass (bounds churn).
+        rebalance_budget_kb: per-spill-pass byte budget; each spilled
+            key costs its modeled size (or ``rebalance_nominal_kb``
+            without a size model).
+        rebalance_max_keys: most keys spilled in one pass.
+        rebalance_nominal_kb: assumed per-object cost against the byte
+            budget when no object-size model is installed.
     """
 
     query_interval_ms: float = minutes(6)
@@ -167,6 +196,13 @@ class ProtocolParams:
     swarm_replicate: int = 0
     swarm_stall_ms: float = 8000.0
     swarm_retry_ms: float = 200.0
+    redirect_hints: bool = False
+    hint_ttl_ms: float = 60_000.0
+    rebalance: bool = False
+    rebalance_cooldown_rounds: int = 2
+    rebalance_budget_kb: float = 1024.0
+    rebalance_max_keys: int = 4
+    rebalance_nominal_kb: float = 64.0
 
     def __post_init__(self) -> None:
         if self.query_interval_ms <= 0 or self.gossip_period_ms <= 0:
@@ -203,6 +239,16 @@ class ProtocolParams:
             raise CDNError("swarm_stall_ms must be positive")
         if self.swarm_retry_ms < 0:
             raise CDNError("swarm_retry_ms must be >= 0")
+        if self.hint_ttl_ms <= 0:
+            raise CDNError("hint_ttl_ms must be positive")
+        if self.rebalance_cooldown_rounds < 0:
+            raise CDNError("rebalance_cooldown_rounds must be >= 0")
+        if self.rebalance_budget_kb <= 0:
+            raise CDNError("rebalance_budget_kb must be positive")
+        if self.rebalance_max_keys < 1:
+            raise CDNError("rebalance_max_keys must be >= 1")
+        if self.rebalance_nominal_kb <= 0:
+            raise CDNError("rebalance_nominal_kb must be positive")
 
 
 class BasePeer(NetworkNode):
@@ -597,21 +643,14 @@ class CdnSystem:
             server.sizes = sizes
 
     def swarm_stats(self) -> Dict[str, float]:
-        """Chunked-transfer accounting (all zeros while swarming is off)."""
-        total_bytes = self.swarm_p2p_bytes + self.swarm_origin_bytes
-        offload = self.swarm_p2p_bytes / total_bytes if total_bytes else 0.0
-        stats: Dict[str, float] = {
-            "transfers_started": self.swarm_started,
-            "transfers_completed": self.swarm_completed,
-            "transfers_degraded": self.swarm_degraded,
-            "transfers_failed": self.swarm_failed,
-            "restarts": self.swarm_restarts,
-            "chunk_retries": self.swarm_chunk_retries,
-            "p2p_bytes": self.swarm_p2p_bytes,
-            "origin_bytes": self.swarm_origin_bytes,
-            "offload_fraction": offload,
-        }
-        bandwidth = self.network.bandwidth
-        if bandwidth is not None:
-            stats.update(bandwidth.stats())
-        return stats
+        """Deprecated: use ``stats().swarm`` (same data, typed)."""
+        import warnings
+
+        from repro.cdn.flower.stats import collect_swarm_stats
+
+        warnings.warn(
+            "CdnSystem.swarm_stats() is deprecated; use stats().swarm instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return collect_swarm_stats(self).to_dict()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dht.node import ChordNode
 from repro.gossip.view import Contact, PartialView
@@ -72,6 +72,23 @@ class DirectoryRole:
         #: Members handed off to the warm successor instance under
         #: sustained overload (replica-aware shedding, PetalUp extension).
         self.members_shed = 0
+        #: Queue-aware redirect hints (overload extension).  Depths of
+        #: sibling instances of this petal, gossiped to us over the
+        #: replica-sync channel: ``address -> (depth, as_of_ms)``.  Pure
+        #: state, only populated when ``redirect_hints`` is on.
+        self.peer_loads: Dict[Address, Tuple[int, float]] = {}
+        #: Shedding-aware content rebalancing (overload extension).
+        #: Windowed per-key fetch counts over provider lookups; reset at
+        #: every spill pass.  Pure state, only populated under
+        #: ``rebalance``.
+        self.fetch_counts: Dict[ObjectKey, int] = {}
+        #: Sweep rounds left before the next spill pass may run.
+        self.rebalance_cooldown = 0
+        #: ``queries_shed`` watermark of the last spill decision -- spills
+        #: only trigger while overload pressure is actually visible.
+        self.rebalance_shed_mark = 0
+        #: Keys this instance spilled to under-loaded members (total).
+        self.keys_rebalanced = 0
         #: Monotonic state version + change journal (replication, section
         #: 5.3).  Pure state: maintaining these draws no randomness and
         #: emits no events, so replication-off runs stay bit-identical.
@@ -147,6 +164,30 @@ class DirectoryRole:
         wait_ms = max(0.0, self.busy_until - now)
         self.busy_until = max(now, self.busy_until) + service_ms
         return True, wait_ms, depth
+
+    # -------------------------------------------------------- redirect hints
+    def note_peer_load(self, address: Address, depth: int, as_of: float) -> None:
+        """Record a sibling instance's gossiped queue depth (freshest wins)."""
+        current = self.peer_loads.get(address)
+        if current is None or as_of >= current[1]:
+            self.peer_loads[address] = (depth, as_of)
+
+    def load_vector(self, now: float, service_ms: float) -> List[tuple]:
+        """Own depth plus known sibling depths as ``(address, depth,
+        age_ms)`` rows, deterministic order -- the wire form of the
+        queue-aware redirect hint."""
+        rows = [(self.owner_address, self.queue_depth(now, service_ms), 0.0)]
+        for address in sorted(self.peer_loads):
+            if address == self.owner_address:
+                continue
+            depth, as_of = self.peer_loads[address]
+            rows.append((address, depth, now - as_of))
+        return rows
+
+    # ------------------------------------------------------ content rebalance
+    def note_fetch(self, key: ObjectKey) -> None:
+        """Count one provider lookup toward the hot-key window."""
+        self.fetch_counts[key] = self.fetch_counts.get(key, 0) + 1
 
     # ------------------------------------------------------------ versioning
     def _mark_changed(self, address: Address) -> None:

@@ -55,6 +55,7 @@ from repro.dht.node import ChordNode, LookupResult, NodeRef, deliver_route_resul
 from repro.gossip.cyclon import CyclonProtocol
 from repro.gossip.summaries import make_summary
 from repro.gossip.view import Contact, PartialView
+from repro.metrics.loadbalance import top_gini_contributors
 from repro.net.message import Message
 from repro.sim.process import PeriodicProcess
 from repro.types import Address, ChordId, ObjectKey
@@ -170,6 +171,12 @@ class FlowerPeer(BasePeer):
         self._search_replicas: List[Address] = []
         self._search_members: List[Address] = []
         self._search_position: Optional[int] = None
+        # --- queue-aware redirect hints (overload extension; inert unless
+        # params.redirect_hints) --- instance address -> (queue depth,
+        # as-of time), harvested from directory replies and replica-sync
+        # load vectors; consulted to pre-route a query to the least-loaded
+        # live instance before the admission queue sheds it.
+        self._petal_loads: Dict[Address, tuple] = {}
         # --- delivery fast path ---
         # Pre-register dispatch wrappers so ``Network._deliver`` hits the
         # handler cache directly and skips the ``on_message`` frame for the
@@ -295,6 +302,7 @@ class FlowerPeer(BasePeer):
         self._search_replicas = []
         self._search_members = []
         self._search_position = None
+        self._petal_loads = {}
 
     @property
     def is_directory(self) -> bool:
@@ -335,6 +343,8 @@ class FlowerPeer(BasePeer):
         d.queries_handled += 1
         provider = d.pick_provider(key, self.rng, exclude={self.address})
         if provider is not None:
+            if self.system.params.rebalance:
+                d.note_fetch(key)
             self._fetch_provider(
                 key,
                 provider,
@@ -407,6 +417,33 @@ class FlowerPeer(BasePeer):
             # chain decides whether it recovered or truly failed.
             self._fetch_from_server(key, "miss_failed", started_at)
             return
+        if self.system.params.redirect_hints:
+            route = self._hint_preroute(info)
+            if route is not None:
+                target, depth_from, depth_to = route
+                self._query_hinted_instance(
+                    key, started_at, target, info, depth_from, depth_to
+                )
+                return
+        self._ask_home_directory(key, started_at, info)
+
+    def _ask_home_directory(
+        self, key: ObjectKey, started_at: float, info: Optional[DirInfo] = None
+    ) -> None:
+        """Ask our own directory instance (the pre-hints query path).
+
+        Also the fallback after a stale hint-guided hop: *info* is then
+        re-read (the home directory may have changed or failed during the
+        hop), so a query never dead-ends on a cached pointer.
+        """
+        if info is None:
+            info = self.dir_info
+            if info is None:
+                self._scan_dring(key=key, started_at=started_at, instance=0, tries=0)
+                return
+            if self._dir_suspect:
+                self._fetch_from_server(key, "miss_failed", started_at)
+                return
 
         def apply(payload: Dict[str, Any]) -> None:
             status = payload.get("status")
@@ -439,6 +476,7 @@ class FlowerPeer(BasePeer):
                 self._fetch_from_server(key, "miss_failed", started_at)
                 return
             info.age = 0
+            self._harvest_load_hint(payload)
             self._note_directory_alive(info)
             self._after_queue_wait(payload, key, started_at, lambda: apply(payload))
 
@@ -511,6 +549,9 @@ class FlowerPeer(BasePeer):
                 self._fetch_from_server(key, "miss_server", started_at)
 
         def on_reply(payload: Dict[str, Any]) -> None:
+            # The successor's reply carries its own load vector: the next
+            # query can pre-route here without being shed at home first.
+            self._harvest_load_hint(payload)
             self._after_queue_wait(payload, key, started_at, lambda: apply(payload))
 
         self.rpc(
@@ -520,6 +561,139 @@ class FlowerPeer(BasePeer):
             on_reply,
             on_timeout=lambda: self._fail_query(key, "shed_overload", started_at),
         )
+
+    # ------------------------------------------- queue-aware redirect hints
+    def _fresh_depth(self, load: tuple, now: float, ttl_ms: float) -> Optional[int]:
+        """A harvested depth while still actionable, else None.
+
+        Queue depths are taken at face value within ``hint_ttl_ms`` of
+        their measurement: the overload that filled a queue persists on
+        the hint-refresh timescale (replies, keepalives, replica syncs),
+        so extrapolating drain would systematically under-estimate.  Past
+        the TTL the hint says nothing and is ignored.
+        """
+        depth, as_of = load
+        if now - as_of > ttl_ms:
+            return None
+        return depth
+
+    def _hint_preroute(self, info: DirInfo) -> Optional[tuple]:
+        """Pick a better-looking instance than home, or None.
+
+        Pre-routes only when fresh hints say the home instance's
+        admission queue is at its limit (we would be shed) *and* some
+        other known instance looks strictly less loaded.  Returns
+        ``(target, home_depth, target_depth)``.
+        """
+        params = self.system.params
+        limit = params.directory_queue_limit
+        if limit < 1 or not self._petal_loads:
+            return None
+        now = self.sim.now
+        ttl = params.hint_ttl_ms
+        home = self._petal_loads.get(info.address)
+        if home is None:
+            return None
+        home_depth = self._fresh_depth(home, now, ttl)
+        if home_depth is None or home_depth < limit:
+            return None
+        best: Optional[Address] = None
+        best_depth = home_depth
+        for address in sorted(self._petal_loads):
+            if address == info.address or address == self.address:
+                continue
+            depth = self._fresh_depth(self._petal_loads[address], now, ttl)
+            if depth is not None and depth < best_depth:
+                best = address
+                best_depth = depth
+        if best is None:
+            return None
+        return best, home_depth, best_depth
+
+    def _query_hinted_instance(
+        self,
+        key: ObjectKey,
+        started_at: float,
+        target: Address,
+        home: DirInfo,
+        depth_from: int,
+        depth_to: int,
+    ) -> None:
+        """One hint-guided pre-route hop (overload extension).
+
+        Exactly one: every outcome below is terminal or hands off to an
+        already-bounded path (the post-shed redirect, the home-directory
+        fallback, the origin server), so a stale hint can cost at most
+        one extra RPC -- never a routing loop -- and the ledger entry
+        closes exactly once on every branch.
+        """
+        self.system.hint_hops += 1
+        if self.sim.tracing("flower.hint_hop"):
+            self.sim.emit(
+                "flower.hint_hop",
+                peer=self.address,
+                key=key,
+                frm=home.address,
+                to=target,
+                depth_from=depth_from,
+                depth_to=depth_to,
+            )
+
+        def apply(payload: Dict[str, Any]) -> None:
+            status = payload.get("status")
+            if status == "provider" and payload.get("provider") is not None:
+                self.system.hint_hits += 1
+                self._fetch_provider(
+                    key,
+                    payload["provider"],
+                    "hit_directory",
+                    started_at,
+                    sources=payload.get("providers"),
+                )
+            elif status == "shed":
+                redirect = payload.get("redirect")
+                if redirect is not None and redirect not in (self.address, target):
+                    self._query_redirect_instance(key, started_at, redirect)
+                else:
+                    self._fail_query(key, "shed_overload", started_at)
+            elif status == "not_directory":
+                # Stale hint: the instance crashed or demoted since it
+                # gossiped its load.  Forget it and fall back to today's
+                # home-directory path (re-read, in case home moved too).
+                self._petal_loads.pop(target, None)
+                self.system.hint_stale += 1
+                self._ask_home_directory(key, started_at)
+            else:
+                self._fetch_from_server(key, "miss_server", started_at)
+
+        def on_reply(payload: Dict[str, Any]) -> None:
+            if payload.get("status") != "not_directory":
+                self._harvest_load_hint(payload)
+            self._after_queue_wait(payload, key, started_at, lambda: apply(payload))
+
+        def on_timeout() -> None:
+            # Dead hinted instance: accounted as a miss, hint dropped.
+            self._petal_loads.pop(target, None)
+            self.system.hint_stale += 1
+            self._fetch_from_server(key, "miss_failed", started_at)
+
+        self.rpc(target, "flower.query", {"key": key, "member": True}, on_reply, on_timeout)
+
+    def _harvest_load_hint(self, payload: Dict[str, Any]) -> None:
+        """Remember the load vector piggybacked on a directory reply."""
+        hint = payload.get("load_hint")
+        if hint is None:
+            return
+        now = self.sim.now
+        for address, depth, age_ms in hint:
+            self._note_petal_load(address, depth, now - age_ms)
+
+    def _note_petal_load(self, address: Address, depth: int, as_of: float) -> None:
+        if address == self.address:
+            return
+        current = self._petal_loads.get(address)
+        if current is None or as_of >= current[1]:
+            self._petal_loads[address] = (depth, as_of)
 
     def _ask_sibling(
         self,
@@ -800,6 +974,7 @@ class FlowerPeer(BasePeer):
         self._dir_strikes = 0
         self._pending_pushes.clear()
         self._harvest_search_replicas(reply)
+        self._harvest_load_hint(reply)
         for contact_address in reply.get("view_sample", []):
             if contact_address != self.address:
                 self.view.add(Contact(contact_address, age=0))
@@ -912,6 +1087,7 @@ class FlowerPeer(BasePeer):
             if payload.get("status") == "ok":
                 info.age = 0
                 self._harvest_search_replicas(payload)
+                self._harvest_load_hint(payload)
                 self._note_directory_alive(info)
             else:
                 self._on_directory_failure(info)
@@ -941,6 +1117,7 @@ class FlowerPeer(BasePeer):
                 # queued while the directory was suspect.
                 self._pending_pushes.clear()
                 self._harvest_search_replicas(payload)
+                self._harvest_load_hint(payload)
                 self._note_directory_alive(info)
             else:
                 self._on_directory_failure(info)
@@ -1015,6 +1192,7 @@ class FlowerPeer(BasePeer):
             if payload.get("status") == "ok":
                 info.age = 0
                 self._harvest_search_replicas(payload)
+                self._harvest_load_hint(payload)
                 self._note_directory_alive(info)
             else:
                 self._on_directory_failure(info)
@@ -1247,6 +1425,8 @@ class FlowerPeer(BasePeer):
         params = self.system.params
         if params.overload_shedding and role.overloaded(params.directory_load_limit):
             self._shed_members_to_successor(role)
+        if params.rebalance:
+            self._maybe_rebalance(role)
 
     def _shed_members_to_successor(self, d: DirectoryRole) -> None:
         """Replica-aware overload relief (PetalUp extension).
@@ -1309,6 +1489,157 @@ class FlowerPeer(BasePeer):
             {"position": next_position, "entries": entries},
             on_reply,
             on_timeout,
+        )
+
+    # -------------------------------------- shedding-aware content rebalance
+    def _maybe_rebalance(self, d: DirectoryRole) -> None:
+        """Spill the hottest keys to under-loaded members (one sweep round).
+
+        Reactive companion to the admission queue: shedding tells us the
+        petal is over capacity, the per-key fetch counters tell us *which*
+        content concentrates that load (the top Gini contributors), so we
+        ask cold members to adopt copies of exactly those keys.  More
+        holders per hot key spreads subsequent directory picks and summary
+        hits, lowering the content-fetch Gini without moving members.
+        Churn is bounded by a per-round key cap, a byte budget, and a
+        cooldown of quiet sweep rounds after any spill.
+        """
+        params = self.system.params
+        if d.rebalance_cooldown > 0:
+            d.rebalance_cooldown -= 1
+            return
+        shed_since = d.queries_shed - d.rebalance_shed_mark
+        d.rebalance_shed_mark = d.queries_shed
+        pressured = shed_since > 0
+        if not pressured and params.directory_queue_limit > 0:
+            pressured = (
+                d.queue_depth(self.sim.now, params.directory_service_ms) > 0
+            )
+        if not pressured:
+            # Quiet round: restart the window so counts track *current*
+            # heat, not the whole run.
+            d.fetch_counts.clear()
+            return
+        hot = top_gini_contributors(d.fetch_counts, params.rebalance_max_keys)
+        sizes = self.system.sizes
+        budget_kb = params.rebalance_budget_kb
+        spilled = 0
+        round_load: Dict[Address, int] = {}
+        for key in hot:
+            holders = d.providers_of(key)
+            if not holders:
+                continue
+            cost_kb = (
+                sizes.size_bytes(key) / 1024.0
+                if sizes is not None
+                else params.rebalance_nominal_kb
+            )
+            if cost_kb > budget_kb:
+                continue
+            target = self._rebalance_target(d, key, round_load)
+            if target is None:
+                continue
+            budget_kb -= cost_kb
+            spilled += 1
+            round_load[target] = round_load.get(target, 0) + 1
+            d.keys_rebalanced += 1
+            self.system.rebalance_spills += 1
+            self.system.rebalance_kb += cost_kb
+            # The index lags pushes, so any single holder may have evicted
+            # the key since it registered; hand the adopter a few candidate
+            # sources to try in turn instead of betting on one.
+            sources = sorted(holders)[:3]
+            self.send(target, "flower.rebalance", key=key, sources=sources)
+            if self.sim.tracing("flower.key_rebalanced"):
+                self.sim.emit(
+                    "flower.key_rebalanced",
+                    directory=self.address,
+                    key=key,
+                    target=target,
+                    source=sources[0],
+                    count=d.fetch_counts.get(key, 0),
+                )
+        d.fetch_counts.clear()
+        if spilled:
+            d.rebalance_cooldown = params.rebalance_cooldown_rounds
+
+    def _rebalance_target(
+        self, d: DirectoryRole, key: ObjectKey, round_load: Dict[Address, int]
+    ) -> Optional[Address]:
+        """The coldest member not yet holding *key* (fewest indexed keys,
+        ties broken by address -- deterministic).  *round_load* counts keys
+        already assigned this pass so one pass fans out across several cold
+        members instead of dog-piling the single coldest one."""
+        holders = set(d.providers_of(key))
+        candidates = [
+            address
+            for address in d.members.addresses()
+            if address != self.address and address not in holders
+        ]
+        if not candidates:
+            return None
+        candidates.sort(
+            key=lambda a: (len(d.member_keys.get(a, ())) + round_load.get(a, 0), a)
+        )
+        return candidates[0]
+
+    def handle_flower_rebalance(self, message: Message) -> None:
+        """Adopt a hot key our directory asked us to replicate.
+
+        One-way and best-effort: fetch the object from one of the named
+        holders over the ordinary ``flower.fetch`` path, cache it, and
+        let the next push/summary propagate the new copy.  The directory
+        index lags pushes, so each candidate source may have evicted the
+        key by now -- try them in turn and drop the request if none still
+        holds it (the directory retries on a later pressured sweep if the
+        key stays hot).
+        """
+        if not self.system.params.rebalance or not self.alive:
+            return
+        payload = message.payload
+        key = tuple(payload["key"])
+        sources = [s for s in payload["sources"] if s != self.address]
+        if key in self.store or self.directory is not None:
+            return
+        self._rebalance_fetch(key, sources)
+
+    def _rebalance_fetch(self, key: ObjectKey, sources: List[Address]) -> None:
+        if not sources or not self.alive or key in self.store:
+            return
+        source, rest = sources[0], sources[1:]
+
+        def adopt(reply: Dict[str, Any]) -> None:
+            if not reply.get("ok"):
+                self._rebalance_fetch(key, rest)
+                return
+            if not self.alive or key in self.store:
+                return
+            _was_new, evicted = self.store.add_with_evictions(key)
+            if evicted:
+                if self.stream is not None:
+                    self.stream.forget(
+                        {index for ws, index in evicted if ws == self.website}
+                    )
+                self._on_evicted(evicted)
+            self.system.rebalance_adoptions += 1
+            self.summary.add(key)
+            self._maybe_place_chunks(key)
+            if self.sim.tracing("flower.key_adopted"):
+                self.sim.emit(
+                    "flower.key_adopted",
+                    peer=self.address,
+                    key=key,
+                    source=source,
+                )
+            if self.dir_info is not None:
+                self._push_to_directory()
+
+        self.rpc(
+            source,
+            "flower.fetch",
+            {"key": key},
+            adopt,
+            on_timeout=lambda: self._rebalance_fetch(key, rest),
         )
 
     def handle_flower_member_transfer(self, message: Message) -> Dict[str, Any]:
@@ -1762,6 +2093,9 @@ class FlowerPeer(BasePeer):
         if not self._replication_on or not self.alive:
             return {"status": "off"}
         payload = message.payload
+        vector = payload.get("load_vector")
+        if vector is not None and self.system.params.redirect_hints:
+            self._harvest_load_vector(payload, vector)
         d = self.directory
         if d is not None and d.position_id == payload["position"]:
             # The origin still believes it owns a slot we now serve: absorb
@@ -1949,6 +2283,9 @@ class FlowerPeer(BasePeer):
         reply = self._process_query(d, message, payload, key, params)
         if queue_wait_ms > 0.0:
             reply["queue_wait_ms"] = queue_wait_ms
+        hint = self._load_hint(d)
+        if hint is not None:
+            reply["load_hint"] = hint
         return reply
 
     def _shed_query(
@@ -1983,6 +2320,9 @@ class FlowerPeer(BasePeer):
         reply: Dict[str, Any] = {"status": "shed"}
         if redirect is not None:
             reply["redirect"] = redirect
+        hint = self._load_hint(d)
+        if hint is not None:
+            reply["load_hint"] = hint
         return reply
 
     def _process_query(
@@ -2000,6 +2340,8 @@ class FlowerPeer(BasePeer):
             # the walk.
             provider = self._directory_provider(d, key, exclude={message.src})
             if provider is not None:
+                if params.rebalance:
+                    d.note_fetch(key)
                 reply = {"status": "provider", "provider": provider}
                 hints = self._provider_hints(d, key, {message.src, provider})
                 if hints is not None:
@@ -2033,6 +2375,8 @@ class FlowerPeer(BasePeer):
 
         provider = self._directory_provider(d, key, exclude={message.src})
         if provider is not None:
+            if params.rebalance:
+                d.note_fetch(key)
             reply["status"] = "provider"
             reply["provider"] = provider
             hints = self._provider_hints(d, key, {message.src, provider})
@@ -2083,6 +2427,9 @@ class FlowerPeer(BasePeer):
         hint = self._search_replica_hint(d)
         if hint is not None:
             reply["search_replicas"] = hint
+        load = self._load_hint(d)
+        if load is not None:
+            reply["load_hint"] = load
         return reply
 
     def _next_instance_address(self, d: DirectoryRole) -> Optional[Address]:
@@ -2380,6 +2727,9 @@ class FlowerPeer(BasePeer):
         hint = self._search_replica_hint(d)
         if hint is not None:
             reply["search_replicas"] = hint
+        load = self._load_hint(d)
+        if load is not None:
+            reply["load_hint"] = load
         return reply
 
     def handle_flower_keepalive(self, message: Message) -> Dict[str, Any]:
@@ -2395,6 +2745,9 @@ class FlowerPeer(BasePeer):
         hint = self._search_replica_hint(d)
         if hint is not None:
             reply["search_replicas"] = hint
+        load = self._load_hint(d)
+        if load is not None:
+            reply["load_hint"] = load
         return reply
 
     # =====================================================================
@@ -2449,6 +2802,42 @@ class FlowerPeer(BasePeer):
                 for address in hint.get("members", ())
                 if address != self.address
             ]
+
+    def _load_hint(self, d: DirectoryRole) -> Optional[List[tuple]]:
+        """Per-petal load vector piggybacked on directory replies.
+
+        Own queue depth plus sibling-instance depths learnt over the
+        replica-sync gossip, each row ``(address, depth, age_ms)``.  None
+        unless redirect hints (and the admission queue they read) are on,
+        so plain builds ship byte-identical replies."""
+        params = self.system.params
+        if not params.redirect_hints or params.directory_queue_limit < 1:
+            return None
+        return d.load_vector(self.sim.now, params.directory_service_ms)
+
+    def _harvest_load_vector(
+        self, payload: Dict[str, Any], vector: List[tuple]
+    ) -> None:
+        """Absorb the load vector gossiped over a replica sync.
+
+        A sibling instance of the same petal folds the rows into its own
+        directory-side picture (so its replies re-export them); an
+        ordinary member of that petal treats them like reply-piggybacked
+        hints."""
+        now = self.sim.now
+        d = self.directory
+        petal = (payload.get("website"), payload.get("locality"))
+        if (
+            d is not None
+            and (d.website, d.locality) == petal
+            and d.position_id != payload.get("position")
+        ):
+            for address, depth, age_ms in vector:
+                if address != self.address:
+                    d.note_peer_load(address, depth, now - age_ms)
+        elif d is None and (self.website, self.locality) == petal:
+            for address, depth, age_ms in vector:
+                self._note_petal_load(address, depth, now - age_ms)
 
     def handle_flower_search(self, message: Message) -> Dict[str, Any]:
         """Answer a petal keyword search from the directory-index."""

@@ -399,6 +399,17 @@ class DirectoryReplicator:
             payload = delta_sync_payload(role, peer.address, base)
             self.stats["deltas"] += 1
         self.stats["syncs"] += 1
+        params = peer.system.params
+        if params.redirect_hints and params.directory_queue_limit > 0:
+            # Queue-aware redirect hints: the periodic sync doubles as the
+            # per-petal load-vector gossip -- replica holders, the member
+            # heir and (via the ring successors) sibling instances all
+            # learn this instance's current admission-queue depth.  Only
+            # shipped when hints are on, so hint-free runs stay
+            # byte-identical on this channel.
+            payload["load_vector"] = role.load_vector(
+                peer.sim.now, params.directory_service_ms
+            )
 
         def on_reply(reply: Dict[str, Any], target=target) -> None:
             if peer.directory is not role:

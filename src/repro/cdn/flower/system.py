@@ -14,12 +14,19 @@ directory role, and wired into a warm-started (already stabilized) D-ring.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 from repro.cdn.base import BasePeer, CdnSystem, ProtocolParams
 from repro.cdn.flower.directory import DirectoryRole
 from repro.cdn.flower.dring import DRingKeyService
 from repro.cdn.flower.peer import FlowerPeer
+from repro.cdn.flower.stats import (
+    SystemStats,
+    collect_overload_stats,
+    collect_replication_stats,
+    collect_system_stats,
+)
 from repro.dht.node import ChordNode
 from repro.dht.ring import ChordRing
 from repro.errors import CDNError
@@ -71,6 +78,19 @@ class FlowerSystem(CdnSystem):
         #: members handed to a successor instance by replica-aware sheds.
         self.shed_queries = 0
         self.members_shed = 0
+        #: Queue-aware redirect hints (reactive overload extension): total
+        #: hint-guided pre-route hops taken, how many of those landed a
+        #: directory hit, and how many hit a stale target (crashed or
+        #: demoted since it gossiped its load).
+        self.hint_hops = 0
+        self.hint_hits = 0
+        self.hint_stale = 0
+        #: Shedding-aware content rebalancing: hot-key spill orders issued
+        #: by pressured directories, adoptions completed by the targets,
+        #: and the byte budget they consumed (in KB).
+        self.rebalance_spills = 0
+        self.rebalance_adoptions = 0
+        self.rebalance_kb = 0.0
         #: Live directory registry: ``(website, locality) -> {address:
         #: peer}``, maintained at every directory-role transition so
         #: per-petal questions (instance counts, petal sizes, overload
@@ -168,108 +188,33 @@ class FlowerSystem(CdnSystem):
                 total += d.load
         return total
 
-    def overload_stats(self) -> dict:
-        """Admission-queue and shedding activity plus load-balance inputs.
+    def stats(self) -> SystemStats:
+        """One versioned snapshot of every extension's counters.
 
-        All-zero / empty when the overload extension is off (no queue
-        limit, no shedding, no open-loop traffic).  The per-directory and
-        per-peer value lists feed the Gini computations of the cloud-heavy
-        benchmark; ``instances`` maps ``"website:locality"`` to the number
-        of live directory instances serving that petal.
+        The single stats entry point: typed sub-blocks for the overload,
+        replication, and swarm planes (see
+        :mod:`repro.cdn.flower.stats`).  Serialize with
+        ``stats().to_dict()``; the legacy per-plane methods below delegate
+        here and warn.
         """
-        stats: dict = {
-            "queries_shed": self.shed_queries,
-            "members_shed": self.members_shed,
-            "directories": 0,
-            "peak_queue_depth": 0,
-            "directory_loads": [],
-            "directory_queries": [],
-            "directory_sheds": [],
-            "directory_detail": {},
-            "content_fetches": [],
-            "instances": {},
-        }
-        for (website, locality), slot in sorted(self._directory_registry.items()):
-            live = 0
-            for address in sorted(slot):
-                peer = slot[address]
-                d = peer.directory
-                if not peer.alive or d is None:
-                    continue
-                live += 1
-                stats["directories"] += 1
-                stats["directory_loads"].append(d.load)
-                stats["directory_queries"].append(d.queries_handled)
-                stats["directory_sheds"].append(d.queries_shed)
-                # Keyed form so callers can diff two snapshots and get
-                # per-window, per-petal query shares (the benches' Gini
-                # inputs).
-                stats["directory_detail"][peer.address] = {
-                    "website": website,
-                    "locality": locality,
-                    "load": d.load,
-                    "queries": d.queries_handled,
-                    "sheds": d.queries_shed,
-                }
-                if d.peak_queue_depth > stats["peak_queue_depth"]:
-                    stats["peak_queue_depth"] = d.peak_queue_depth
-            if live:
-                stats["instances"][f"{website}:{locality}"] = live
-        for peer in self.peers.values():
-            if peer.alive and peer.directory is None:
-                stats["content_fetches"].append(peer.fetches_served)
-        return stats
+        return collect_system_stats(self)
+
+    def overload_stats(self) -> dict:
+        """Deprecated: use ``stats().overload`` (same data, typed)."""
+        warnings.warn(
+            "FlowerSystem.overload_stats() is deprecated; "
+            "use stats().overload instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return collect_overload_stats(self).to_dict()
 
     def replication_stats(self) -> dict:
-        """Aggregate replication activity across the live population.
-
-        All-zero when ``replication_k == 0`` (nothing runs).  Used by the
-        recovery benchmarks and the chaos report's context block.
-        """
-        stats = {
-            "syncs": 0,
-            "fulls": 0,
-            "deltas": 0,
-            "rejected": 0,
-            "replicas_stored": 0,
-            "replica_holders": 0,
-            "provisional_directories": 0,
-            # Search-index replication (section 5.4): live per-directory
-            # posting state plus the replica-side copies and their age.
-            "search_directories": 0,
-            "search_postings": 0,
-            "search_replicas": 0,
-            "search_replica_staleness_ms": 0.0,
-            "search_index": {},
-        }
-        now = self.sim.now
-        for peer in self.peers.values():
-            if not peer.alive:
-                continue
-            stored = len(peer.replica_store)
-            if stored:
-                stats["replicas_stored"] += stored
-                stats["replica_holders"] += 1
-            for record in peer.replica_store.records():
-                if record.postings:
-                    stats["search_replicas"] += 1
-                    staleness = now - record.updated_at
-                    if staleness > stats["search_replica_staleness_ms"]:
-                        stats["search_replica_staleness_ms"] = staleness
-            d = peer.directory
-            if d is not None:
-                if d.provisional:
-                    stats["provisional_directories"] += 1
-                if d.search_space is not None:
-                    stats["search_directories"] += 1
-                    stats["search_postings"] += len(d.postings)
-                    stats["search_index"][d.position_id] = {
-                        "version": d.search_version,
-                        "postings": len(d.postings),
-                        "provisional": d.provisional,
-                    }
-            replicator = peer._replicator
-            if replicator is not None:
-                for key in ("syncs", "fulls", "deltas", "rejected"):
-                    stats[key] += replicator.stats[key]
-        return stats
+        """Deprecated: use ``stats().replication`` (same data, typed)."""
+        warnings.warn(
+            "FlowerSystem.replication_stats() is deprecated; "
+            "use stats().replication instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return collect_replication_stats(self).to_dict()

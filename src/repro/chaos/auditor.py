@@ -40,6 +40,14 @@ I9 **transfer ledger** -- every chunked swarm transfer terminates
    generation's ``swarm.chunk_done`` bytes, and a completed or degraded
    close accounts for the full object size.  Seeder death mid-transfer
    may degrade a transfer; it must never lose or double-count one.
+I10 **hint-hop discipline** -- with queue-aware redirect hints on, every
+   ``flower.hint_hop`` belongs to a query that is *open* in the ledger,
+   names a target that is neither the hopping peer nor the home instance
+   it is hopping away from, claims a strictly smaller queue depth than
+   home's, and happens at most once per open query -- so a stale hint can
+   cost one extra RPC but never a routing loop, and I1 then guarantees
+   the hinted query still terminates exactly once (a hop onto a crashed
+   or demoted target must resolve as an accounted miss, never vanish).
 
 Zero cost when absent: all observation happens through subscriber-gated
 trace kinds plus an explicitly scheduled audit tick -- a run without an
@@ -83,6 +91,9 @@ WATCHED_KINDS = (
     "flower.directory_active",
     "flower.directory_demoted",
     "flower.directory_provisional",
+    "flower.hint_hop",
+    "flower.key_adopted",
+    "flower.key_rebalanced",
     "flower.member_expired",
     "flower.members_shed",
     "flower.query_shed",
@@ -212,6 +223,10 @@ class InvariantAuditor:
             "search_stale_max_ms": 0,
             "queries_shed": 0,
             "members_shed": 0,
+            "hint_hops": 0,
+            "hint_dead_targets": 0,
+            "keys_rebalanced": 0,
+            "keys_adopted": 0,
             "transfers_opened": 0,
             "transfers_closed": 0,
             "transfers_degraded": 0,
@@ -228,6 +243,9 @@ class InvariantAuditor:
         #: every (peer, key) that ever terminated -- lets I8 tell a shed
         #: racing a just-closed query apart from a fabricated one.
         self._ever_closed: Set[Tuple[int, tuple]] = set()
+        # --- I10: hint-hop discipline --- (peer, key) -> opened_at of the
+        #: ledger entry that already spent its single hint hop.
+        self._hint_hopped: Dict[Tuple[int, tuple], float] = {}
         # --- I9: transfer ledger --- (peer, key) -> open transfer state:
         #: opened_at, declared size/chunk count, and the current
         #: generation's completed chunks + byte total.
@@ -278,6 +296,9 @@ class InvariantAuditor:
             "fault.partition_heal": self._on_partition_edge,
             "fault.mass_failure": self._on_disturbance,
             "flower.directory_active": self._on_directory_active,
+            "flower.hint_hop": self._on_hint_hop,
+            "flower.key_adopted": self._on_key_adopted,
+            "flower.key_rebalanced": self._on_key_rebalanced,
             "flower.members_shed": self._on_members_shed,
             "flower.query_shed": self._on_query_shed,
             "flower.search_done": self._on_search_done,
@@ -330,6 +351,7 @@ class InvariantAuditor:
             return
         self._leak_reported.discard(key)
         self._ever_closed.add(key)
+        self._hint_hopped.pop(key, None)
         self.stats["queries_closed"] += 1
 
     # ------------------------------------------------ I8: shed accounting
@@ -356,6 +378,68 @@ class InvariantAuditor:
 
     def _on_members_shed(self, event: TraceEvent) -> None:
         self.stats["members_shed"] += int(event.payload.get("count", 0))
+
+    # --------------------------------------------- I10: hint-hop discipline
+    def _on_hint_hop(self, event: TraceEvent) -> None:
+        self.stats["hint_hops"] += 1
+        payload = event.payload
+        peer = payload["peer"]
+        key = (peer, tuple(payload["key"]))
+        target = payload["to"]
+        home = payload["frm"]
+        opened_at = self._open.get(key)
+        if opened_at is None:
+            # A hop for a query the ledger does not know: the client is
+            # spending RPCs on work nobody is waiting for.
+            self._violation(
+                "hint_hop_unaccounted",
+                subject=key,
+                details={"frm": home, "to": target},
+            )
+            return
+        if target == home or target == peer:
+            # Hopping back onto the instance we are escaping (or onto
+            # ourselves) is the seed of a routing loop.
+            self._violation(
+                "hint_hop_loop",
+                subject=key,
+                details={"frm": home, "to": target},
+            )
+        if payload["depth_to"] >= payload["depth_from"]:
+            # The whole point of the hop is a strictly less-loaded target;
+            # an equal-or-deeper claim means the pre-route filter broke.
+            self._violation(
+                "hint_hop_not_less_loaded",
+                subject=key,
+                details={
+                    "to": target,
+                    "depth_from": payload["depth_from"],
+                    "depth_to": payload["depth_to"],
+                },
+            )
+        if self._hint_hopped.get(key) == opened_at:
+            # One hop per open query: every fallback path (home retry,
+            # post-shed redirect, origin server) is hop-free, so a second
+            # hop on the same ledger entry is a loop in the making.
+            self._violation(
+                "hint_hop_repeated",
+                subject=key,
+                details={"frm": home, "to": target},
+            )
+        else:
+            self._hint_hopped[key] = opened_at
+        # A hop onto a dead or demoted target is legitimate (hints are
+        # allowed to go stale) -- the query must then resolve as an
+        # accounted miss, which I1 enforces.  Count it for the report.
+        network = self.network
+        if not network.is_alive(target):
+            self.stats["hint_dead_targets"] += 1
+
+    def _on_key_rebalanced(self, event: TraceEvent) -> None:
+        self.stats["keys_rebalanced"] += 1
+
+    def _on_key_adopted(self, event: TraceEvent) -> None:
+        self.stats["keys_adopted"] += 1
 
     # ------------------------------------------------ I9: transfer ledger
     def _on_swarm_start(self, event: TraceEvent) -> None:

@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cdn.flower.stats import collect_swarm_stats
 from repro.chaos.auditor import AuditorConfig, InvariantAuditor, Violation
 from repro.chaos.plan import (
     ChaosPlan,
@@ -387,11 +388,11 @@ def run_chaos(
         extra["fault_stats"] = dict(world.faults.stats)
     if world.openloop is not None:
         extra["openloop"] = dict(world.openloop.stats)
-        overload_stats = getattr(system, "overload_stats", None)
-        if overload_stats is not None:
-            extra["overload"] = overload_stats()
+        stats = getattr(system, "stats", None)
+        if stats is not None:
+            extra["overload"] = stats().overload.to_dict()
     if getattr(system, "sizes", None) is not None:
-        extra["swarm"] = system.swarm_stats()
+        extra["swarm"] = collect_swarm_stats(system).to_dict()
     result = ExperimentResult.from_metrics(
         protocol=protocol,
         seed=seed,

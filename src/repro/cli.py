@@ -11,6 +11,12 @@ Five subcommands cover the common workflows without writing Python::
 ``--paper`` switches any command from the reduced default scale to the
 paper's full Table 1 parameters (expect minutes of wall clock).
 
+Option names are normalized across subcommands: ``--replication``,
+``--workers``, ``--overload``, and ``--rebalance`` mean the same thing
+everywhere (``--rebalance`` implies the ``--overload`` recipe and turns
+on redirect hints + content rebalancing).  Deprecated alias spellings
+(``--replication-k``, ``--num-workers``) still parse but warn.
+
 ``chaos`` runs seeded randomized fault schedules with the online
 invariant auditor (:mod:`repro.chaos`); it exits non-zero when any
 invariant is violated and drops a reproducer bundle per violation into
@@ -22,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import List, Optional
 
 from repro.analysis.ascii import line_chart
@@ -31,6 +38,27 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import PROTOCOLS, run_experiment
 from repro.metrics.overhead import OverheadReport
 from repro.metrics.report import render_table
+
+
+class _DeprecatedAlias(argparse.Action):
+    """Old option spelling: still works, but names its replacement.
+
+    Normalized option names are the single source of truth; aliases warn
+    on stderr (visible in CLI use) and via :class:`DeprecationWarning`
+    (catchable in tests) instead of silently diverging.
+    """
+
+    def __init__(self, *args, canonical: str = "", **kwargs):
+        self.canonical = canonical
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        message = f"{option_string} is deprecated; use {self.canonical}"
+        print(f"warning: {message}", file=sys.stderr)
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        if self.nargs == 0:
+            values = True
+        setattr(namespace, self.dest, values)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -49,6 +77,15 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="K",
         help="directory replication degree (0 = off; warm failover, section 5.3)",
     )
+    parser.add_argument(
+        "--replication-k",
+        type=int,
+        dest="replication",
+        action=_DeprecatedAlias,
+        canonical="--replication",
+        metavar="K",
+        help=argparse.SUPPRESS,
+    )
     parser.add_argument("--json", metavar="PATH", help="also write the result as JSON")
     parser.add_argument(
         "--workers",
@@ -59,21 +96,70 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "> 1 runs the sharded engine, flower only, and N must divide the "
         "shard map -- one shard per locality)",
     )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        dest="workers",
+        action=_DeprecatedAlias,
+        canonical="--workers",
+        metavar="N",
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "--overload",
+        action="store_true",
+        help=(
+            "sustained open-loop overload: saturating traffic, bounded "
+            "directory admission queues, and replica-aware shedding"
+        ),
+    )
+    parser.add_argument(
+        "--rebalance",
+        action="store_true",
+        help=(
+            "reactive overload control on top of --overload (implied): "
+            "queue-aware redirect hints + shedding-aware content "
+            "rebalancing"
+        ),
+    )
+
+
+def _apply_overload_recipe(
+    config: ExperimentConfig, rebalance: bool
+) -> ExperimentConfig:
+    """The shared ``--overload`` operating point: open-loop traffic that
+    can saturate directories, bounded admission queues, and replica-aware
+    shedding.  ``--rebalance`` layers the reactive half on top: redirect
+    hints + hot-key spilling."""
+    config = config.replace(
+        openloop_rate_qps=max(1.0, config.population / 20.0),
+        directory_queue_limit=16,
+        directory_service_ms=40.0,
+        overload_shedding=True,
+    )
+    if rebalance:
+        config = config.replace(redirect_hints=True, rebalance=True)
+    return config
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     replication = getattr(args, "replication", 0)
     if args.paper:
-        return ExperimentConfig.paper(
+        config = ExperimentConfig.paper(
             population=args.population,
             duration_hours=args.hours,
             directory_replication_k=replication,
         )
-    return ExperimentConfig.scaled(
-        population=args.population,
-        duration_hours=args.hours,
-        directory_replication_k=replication,
-    )
+    else:
+        config = ExperimentConfig.scaled(
+            population=args.population,
+            duration_hours=args.hours,
+            directory_replication_k=replication,
+        )
+    rebalance = getattr(args, "rebalance", False)
+    if getattr(args, "overload", False) or rebalance:
+        config = _apply_overload_recipe(config, rebalance)
+    return config
 
 
 def _maybe_write_json(args: argparse.Namespace, payload: dict) -> None:
@@ -161,6 +247,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 paper=args.paper,
                 seed=args.seed,
                 replication=args.replication,
+                overload=getattr(args, "overload", False),
+                rebalance=getattr(args, "rebalance", False),
             )
             config = _config_from(namespace)
             result = run_experiment(
@@ -223,19 +311,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         # the auditor's I7 (search availability / staleness) has traffic
         # to judge.  Off by default: search changes the trace stream.
         config = config.replace(search_keywords=24, search_probe_period_s=45.0)
-    overload = getattr(args, "overload", False)
-    if overload:
-        # Overload lanes: open-loop traffic that can saturate directories,
-        # bounded admission queues, and replica-aware shedding, plus the
-        # sustained_overload phase in the plan menu so the auditor's I8
-        # (shed accounting) has pressure to judge.  Off by default: the
-        # open-loop stream changes every trace.
-        config = config.replace(
-            openloop_rate_qps=max(1.0, config.population / 20.0),
-            directory_queue_limit=16,
-            directory_service_ms=40.0,
-            overload_shedding=True,
-        )
+    # The overload recipe itself is applied by _config_from (shared with
+    # run/sweep/overhead); chaos additionally unlocks the
+    # sustained_overload phase in the plan menu so the auditor's I8
+    # (shed accounting) -- and, with --rebalance, the I10 hint-hop
+    # discipline -- has pressure to judge.
+    overload = getattr(args, "overload", False) or getattr(args, "rebalance", False)
     seeder_death = getattr(args, "seeder_death", False)
     if seeder_death:
         # Swarming lanes: chunked multi-source transfers over a
@@ -368,15 +449,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.add_argument(
         "--halt", action="store_true", help="stop at the first violation"
-    )
-    chaos_parser.add_argument(
-        "--overload",
-        action="store_true",
-        help=(
-            "add sustained open-loop overload: saturating traffic, bounded "
-            "directory admission queues, replica-aware shedding, and the "
-            "sustained_overload phase in the generated plans"
-        ),
     )
     chaos_parser.add_argument(
         "--seeder-death",

@@ -21,6 +21,7 @@ from repro.cdn.flower.search import (
     KeywordSpace,
     SearchProbeWorkload,
 )
+from repro.cdn.flower.stats import collect_swarm_stats
 from repro.cdn.flower.system import FlowerSystem
 from repro.cdn.petalup.system import PetalUpSystem
 from repro.cdn.squirrel.homestore import HomeStoreSquirrelSystem
@@ -274,9 +275,9 @@ def run_experiment(
             or config.directory_queue_limit > 0
             or config.overload_shedding
         ):
-            extra["overload"] = system.overload_stats()
+            extra["overload"] = system.stats().overload.to_dict()
     if config.swarming:
-        extra["swarm"] = system.swarm_stats()
+        extra["swarm"] = collect_swarm_stats(system).to_dict()
     if world.openloop is not None:
         extra["openloop"] = dict(world.openloop.stats)
     if isinstance(system, SquirrelSystem):
@@ -459,7 +460,7 @@ def run_directory_recovery_experiment(
         "directories": system.directory_count(),
         "expired_members": system.expired_members,
         "directory_recovery": directory_recovery,
-        "replication": system.replication_stats(),
+        "replication": system.stats().replication.to_dict(),
     }
     result = ExperimentResult.from_metrics(
         protocol=protocol,

@@ -7,7 +7,9 @@ shedding; the Gini coefficient is the single-number summary it gates on.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable, List, TypeVar
+
+K = TypeVar("K")
 
 
 def gini(values: Iterable[float]) -> float:
@@ -28,3 +30,22 @@ def gini(values: Iterable[float]) -> float:
         return 0.0
     weighted = sum(rank * value for rank, value in enumerate(ordered, start=1))
     return 2.0 * weighted / (n * total) - (n + 1) / n
+
+
+def top_gini_contributors(counts: Dict[K, float], limit: int) -> List[K]:
+    """The keys contributing most to the Gini of a count distribution.
+
+    In the sorted-rank form each value's contribution grows with
+    ``x_i * (2 * rank_i - n - 1)``, which over fixed *n* is maximized by
+    the largest counts -- so the top contributors are simply the keys
+    with the highest counts.  Returns up to *limit* keys, highest count
+    first, ties broken by key order (deterministic); keys with
+    non-positive counts never qualify.
+    """
+    if limit < 1:
+        return []
+    ranked = sorted(
+        ((count, key) for key, count in counts.items() if count > 0),
+        key=lambda item: (-item[0], item[1]),
+    )
+    return [key for _count, key in ranked[:limit]]

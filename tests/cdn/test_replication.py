@@ -203,7 +203,7 @@ class TestPeriodicSync:
         assert record.origin == directory.address
         assert client.address in record.members
         assert (0, 5) in record.member_keys[client.address]
-        stats = world.system.replication_stats()
+        stats = world.system.stats().replication.to_dict()
         assert stats["syncs"] > 0 and stats["fulls"] > 0
         assert stats["replica_holders"] >= 1
 
@@ -211,7 +211,7 @@ class TestPeriodicSync:
         world = CdnWorld(FlowerSystem, params=make_params(replication_k=0))
         _register(world, key=(0, 5))
         world.run(minutes(25))
-        stats = world.system.replication_stats()
+        stats = world.system.stats().replication.to_dict()
         assert stats["syncs"] == 0
         assert stats["replicas_stored"] == 0
         assert all(

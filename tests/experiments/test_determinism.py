@@ -131,6 +131,33 @@ def test_overload_off_matches_the_golden_stream():
 
 
 @pytest.mark.slow
+def test_hints_and_rebalance_off_matches_the_golden_stream():
+    """Redirect hints and content rebalancing disabled is the golden build.
+
+    The reactive overload plane (queue-depth hints piggybacked on
+    directory replies, load vectors on replica syncs, hot-key fetch
+    counters and rebalance spills) is gated on ``redirect_hints`` /
+    ``rebalance``: with both off no reply grows a ``load_hint`` field, no
+    fetch is counted, and no spill or adoption is ever scheduled.
+    Varying every harmless knob of the plane with the gates closed must
+    reproduce the exact pinned fingerprint; if this test moves, some
+    hint/rebalance code leaked outside its gate.
+    """
+    config = golden_config().replace(
+        redirect_hints=False,
+        hint_ttl_ms=7_500.0,
+        rebalance=False,
+        rebalance_cooldown_rounds=0,
+        rebalance_budget_kb=64.0,
+        rebalance_max_keys=9,
+    )
+    sha, hit_ratio, _ = run_world("flower", firehose=True, config=config)
+    golden_sha, golden_hit = GOLDEN["flower"]
+    assert sha == golden_sha
+    assert hit_ratio == golden_hit
+
+
+@pytest.mark.slow
 def test_swarming_off_matches_the_golden_stream():
     """Swarming and bandwidth disabled is the golden build, bit for bit.
 

@@ -75,3 +75,65 @@ def test_overhead_command(capsys):
     out = capsys.readouterr().out
     assert "message overhead" in out
     assert "maintenance messages per query" in out
+
+
+# ----------------------------------------------- normalized option naming
+def test_option_names_are_uniform_across_subcommands():
+    """``--replication``, ``--workers``, ``--overload`` and
+    ``--rebalance`` parse identically on run/compare/sweep/overhead/chaos."""
+    parser = build_parser()
+    for command, extra in (
+        ("run", ["flower"]),
+        ("compare", []),
+        ("sweep", []),
+        ("overhead", "flower".split()),
+        ("chaos", ["flower"]),
+    ):
+        args = parser.parse_args(
+            [command, *extra, "--replication", "2", "--workers", "1", "--overload"]
+        )
+        assert args.replication == 2
+        assert args.workers == 1
+        assert args.overload is True
+        assert args.rebalance is False
+
+
+def test_rebalance_flag_turns_on_the_reactive_plane():
+    from repro.cli import _config_from
+
+    args = build_parser().parse_args(["run", "flower", "--rebalance"])
+    config = _config_from(args)
+    assert config.redirect_hints is True
+    assert config.rebalance is True
+    # --rebalance implies the --overload recipe.
+    assert config.openloop_rate_qps > 0
+    assert config.directory_queue_limit > 0
+    assert config.overload_shedding is True
+
+
+def test_overload_without_rebalance_keeps_the_reactive_plane_off():
+    from repro.cli import _config_from
+
+    args = build_parser().parse_args(["run", "flower", "--overload"])
+    config = _config_from(args)
+    assert config.redirect_hints is False
+    assert config.rebalance is False
+    assert config.openloop_rate_qps > 0
+
+
+def test_deprecated_aliases_warn_but_work(capsys):
+    with pytest.deprecated_call():
+        args = build_parser().parse_args(
+            ["run", "flower", "--replication-k", "3"]
+        )
+    assert args.replication == 3
+    assert "deprecated" in capsys.readouterr().err
+    with pytest.deprecated_call():
+        args = build_parser().parse_args(["run", "flower", "--num-workers", "1"])
+    assert args.workers == 1
+
+
+def test_rebalanced_run_end_to_end(capsys):
+    assert main(["run", "flower", *FAST, "--rebalance"]) == 0
+    out = capsys.readouterr().out
+    assert "hit=" in out
